@@ -1,0 +1,44 @@
+"""Battery-life translation over the measured suite.
+
+The paper's framing: whole-device PPW gains "directly translate to
+battery life improvement."  This benchmark converts the measured
+54-workload results into hours under a browsing-heavy usage profile.
+"""
+
+from repro.experiments.battery import UsageProfile, battery_life
+
+
+def test_battery_life_translation(benchmark, suite_evaluations, config, save_result):
+    profile = UsageProfile(loads_per_hour=240, battery_wh=8.7)
+    result = benchmark.pedantic(
+        battery_life,
+        kwargs={
+            "evaluations": suite_evaluations,
+            "governors": ("interactive", "performance", "EE", "DORA"),
+            "profile": profile,
+            "config": config,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_result("battery_life", result.render())
+
+    # DORA extends battery life over both utilization governors.
+    assert result.extension_vs("DORA", "interactive") > 1.02
+    assert result.extension_vs("DORA", "performance") > 1.02
+    # The absolute scale is phone-like for a browsing-heavy profile.
+    hours = result.estimates["interactive"].hours
+    assert 2.0 < hours < 12.0
+    # EE buys more battery than DORA -- by running slower than users
+    # tolerate.  That extra life must come bundled with heavy QoS
+    # violations (the paper's argument for DORA over EE).
+    assert result.extension_vs("EE", "DORA") > 1.0
+    ee_misses = sum(
+        1 for e in suite_evaluations
+        if not e.runs["EE"].meets(config.deadline_s)
+    )
+    dora_misses = sum(
+        1 for e in suite_evaluations
+        if not e.runs["DORA"].meets(config.deadline_s)
+    )
+    assert ee_misses > dora_misses + 5

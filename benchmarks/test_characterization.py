@@ -1,0 +1,18 @@
+"""Platform characterization: every calibration property holds.
+
+This is the substrate's own Table III / Section II regression test:
+page classes, kernel bins, interference magnitude, interior PPW
+optima, fE spread, and the fmax penalty.
+"""
+
+from repro.experiments.calibration import characterize
+
+
+def test_characterization(benchmark, config, save_result):
+    report = benchmark.pedantic(
+        characterize, kwargs={"config": config}, rounds=1, iterations=1
+    )
+    save_result("characterization", report.render())
+    failed = [p.name for p in report.properties if not p.passed]
+    assert report.passed, failed
+    assert len(report.properties) == 6

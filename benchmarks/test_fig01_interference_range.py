@@ -1,0 +1,37 @@
+"""Fig. 1: impact of memory interference on Reddit's load time.
+
+Paper shape: at every frequency the co-runner intensity spreads the
+load time; the spread is widest (in seconds) at the lowest frequency,
+and whether a deadline is met can flip with interference at a fixed
+frequency.
+"""
+
+from repro.experiments.figures import fig01_interference_range
+
+
+def test_fig01_reddit_interference_range(benchmark, config, save_result):
+    result = benchmark.pedantic(
+        fig01_interference_range,
+        kwargs={"config": config},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig01_interference_range", result.render())
+
+    freqs = sorted(result.rows)
+    assert len(freqs) == 8
+
+    # Interference only ever slows the page down.
+    for solo, low, high, _loads in result.rows.values():
+        assert low >= solo * 0.999
+        assert high > low
+
+    # The spread (seconds) shrinks as frequency rises: widest at fmin.
+    spread = {f: result.rows[f][2] - result.rows[f][0] for f in freqs}
+    assert spread[freqs[0]] > 2.0 * spread[freqs[-1]]
+
+    # A deadline exists that is met under light interference but missed
+    # under heavy interference at the same frequency (the paper's
+    # motivating observation).
+    solo, low, high, _ = result.rows[freqs[0]]
+    assert any(low <= d < high for d in (result.deadlines_s + (2.0, 2.25, 2.5)))

@@ -1,0 +1,42 @@
+"""Fig. 2: co-run load-time inflation and the E-delta energy overhead.
+
+Paper shape: (a) load time at fmax grows with co-runner intensity;
+ESPN meets the 3 s deadline at every intensity while AliExpress never
+does and Hao123/Imgur cross it as intensity rises.  (b) the
+attributable co-run energy overhead is positive and grows with
+intensity, up to the tens of percent (paper max ~29 %).
+"""
+
+from repro.experiments.figures import fig02_load_time_and_energy
+
+
+def test_fig02_load_time_and_energy(benchmark, config, save_result):
+    result = benchmark.pedantic(
+        fig02_load_time_and_energy,
+        kwargs={"config": config},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig02_load_time_energy", result.render())
+
+    deadline = result.deadline_s
+
+    # (a) load time grows with intensity for every page.
+    for page, loads in result.load_times.items():
+        assert loads["low"] < loads["medium"] < loads["high"], page
+
+    # ESPN always meets the deadline; AliExpress never does.
+    assert all(t <= deadline for t in result.load_times["espn"].values())
+    assert all(t > deadline for t in result.load_times["aliexpress"].values())
+
+    # Hao123 and Imgur cross the deadline as intensity rises.
+    for page in ("hao123", "imgur"):
+        assert result.load_times[page]["low"] <= deadline
+        assert result.load_times[page]["high"] > deadline
+
+    # (b) positive overhead, higher at high intensity, paper-magnitude.
+    for page, overhead in result.energy_overhead.items():
+        assert overhead["low"] > 0.0, page
+        assert overhead["high"] > overhead["low"], page
+        assert overhead["high"] < 0.35, page
+    assert max(o["high"] for o in result.energy_overhead.values()) > 0.15

@@ -1,0 +1,39 @@
+"""Fig. 3: the two fopt regimes.
+
+Paper shape: an ESPN-like page is deadline-bound (fD > fE, fopt = fD)
+while an MSN-like page is efficiency-bound (fD < fE, fopt = fE); in
+both cases pinning fmax loses double-digit percent PPW versus fopt
+(paper: 17 % and 28 %).
+"""
+
+from repro.experiments.figures import fig03_fopt_cases
+
+
+def test_fig03_espn_and_msn_regimes(benchmark, config, save_result):
+    result = benchmark.pedantic(
+        fig03_fopt_cases, kwargs={"config": config}, rounds=1, iterations=1
+    )
+    save_result("fig03_fopt_cases", result.render())
+
+    by_page = {case.page_name: case for case in result.cases}
+    espn = by_page["espn"]
+    msn = by_page["msn"]
+
+    # ESPN: the deadline binds; fopt follows fD above fE.
+    assert espn.regime == "fD>fE"
+    assert espn.fopt_hz == espn.fd_hz
+
+    # MSN: slack deadline; fopt is the energy-optimal point.
+    assert msn.regime == "fD<=fE"
+    assert msn.fopt_hz == msn.fe_hz
+    assert msn.fd_hz < msn.fe_hz
+
+    # Both PPW curves have an interior optimum.
+    for case in result.cases:
+        ppws = [p.ppw for p in case.sweep]
+        best = ppws.index(max(ppws))
+        assert 0 < best < len(ppws) - 1, case.page_name
+
+    # Pinning fmax costs double-digit percent PPW.
+    assert espn.fmax_ppw_loss > 0.05
+    assert msn.fmax_ppw_loss > 0.10

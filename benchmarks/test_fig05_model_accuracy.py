@@ -1,0 +1,46 @@
+"""Fig. 5 + Section V-A: model accuracy and response-surface selection.
+
+Paper shape: the load-time model reaches ~97.5 % accuracy and the
+power model ~96 %; most pages sit under 5 % error with a bounded tail.
+Model selection: interaction and quadratic beat linear for load time
+(the paper picks interaction for simplicity), while for power the
+richer surfaces bring no real gain over linear (the paper picks
+linear).
+"""
+
+from repro.experiments.figures import fig05_model_accuracy
+
+
+def test_fig05_accuracy_and_surface_selection(benchmark, trained_models, save_result):
+    result = benchmark.pedantic(
+        fig05_model_accuracy,
+        kwargs={"models": trained_models},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig05_model_accuracy", result.render())
+
+    # Headline accuracies in the paper's regime.
+    assert result.time_accuracy > 0.95
+    assert result.power_accuracy > 0.95
+
+    # CDF shape: most pages under 5 % error, bounded tail.
+    time_frac_under_5pct = max(
+        fraction for error, fraction in result.time_cdf if error <= 0.05
+    )
+    assert time_frac_under_5pct >= 0.85
+    assert max(error for error, _ in result.time_cdf) < 0.12
+    assert max(error for error, _ in result.power_cdf) < 0.12
+
+    # V-A model selection.
+    linear = result.surface_comparison["linear"]
+    interaction = result.surface_comparison["interaction"]
+    quadratic = result.surface_comparison["quadratic"]
+
+    # Load time: linear is far worse; interaction ~ quadratic.
+    assert linear[0] > 2.0 * interaction[0]
+    assert abs(quadratic[0] - interaction[0]) < 0.02
+
+    # Power: all three surfaces are close (so the paper picks linear).
+    assert linear[1] < interaction[1] + 0.02
+    assert linear[1] < 0.05

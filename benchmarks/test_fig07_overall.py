@@ -1,0 +1,43 @@
+"""Fig. 7: suite-wide energy efficiency and load-time distribution.
+
+Paper shape: DORA improves mean PPW by ~16 % over interactive (18 %
+Webpage-Inclusive, 10 % Webpage-Neutral); EE is a little better on
+energy but misses the deadline on ~21 % of workloads by large margins;
+DL meets deadlines at sub-optimal efficiency; performance buys speed
+with the worst efficiency.
+"""
+
+from repro.experiments.figures import fig07_overall
+
+
+def test_fig07_overall(benchmark, predictor, config, save_result):
+    result = benchmark.pedantic(
+        fig07_overall,
+        kwargs={"predictor": predictor, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig07_overall", result.render())
+
+    overall = result.groups["all"]
+
+    # Headline: DORA lands in the paper's +10..+20 % band.
+    assert 1.10 <= overall["DORA"] <= 1.20
+
+    # Ordering: performance < DL < DORA < EE on mean PPW.
+    assert overall["performance"] < overall["DL"] < overall["DORA"] < overall["EE"]
+
+    # Inclusive beats neutral (models know those pages).
+    assert result.groups["inclusive"]["DORA"] > result.groups["neutral"]["DORA"]
+    # Both groups still improve double digits.
+    assert result.groups["neutral"]["DORA"] > 1.08
+
+    # (b) EE ignores QoS and misses far more often than DORA.
+    assert result.deadline_miss_fraction("EE") > (
+        result.deadline_miss_fraction("DORA") + 0.10
+    )
+    # EE's violations are large: its worst load far exceeds the deadline.
+    assert max(result.load_times["EE"]) > result.deadline_s * 1.5
+
+    # performance's misses are exactly the infeasible workloads.
+    assert result.deadline_miss_fraction("performance") < 0.15

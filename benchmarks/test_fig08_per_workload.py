@@ -1,0 +1,49 @@
+"""Fig. 8: per-workload energy efficiency, sorted by DORA's gain.
+
+Paper shape: DORA's series tracks EE on the workloads whose deadline
+is slack (fE >= fD) and tracks DL on the deadline-bound ones (fE <
+fD); DORA never falls meaningfully below the interactive baseline.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig08_per_workload
+
+
+def test_fig08_per_workload(benchmark, predictor, config, save_result):
+    result = benchmark.pedantic(
+        fig08_per_workload,
+        kwargs={"predictor": predictor, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig08_per_workload", result.render())
+
+    assert len(result.rows) == 54
+
+    # The series is sorted by DORA's improvement.
+    dora = result.series("DORA")
+    assert dora == sorted(dora)
+
+    # DORA tracks EE exactly where the deadline is slack.
+    slack = [row for row in result.rows if row.regime == "fE>=fD"]
+    assert len(slack) >= 25
+    slack_gap = np.mean(
+        [abs(row.normalized["DORA"] - row.normalized["EE"]) for row in slack]
+    )
+    assert slack_gap < 0.02
+
+    # ... and tracks DL where the deadline binds.
+    bound = [row for row in result.rows if row.regime == "fE<fD"]
+    assert len(bound) >= 10
+    bound_gap = np.mean(
+        [abs(row.normalized["DORA"] - row.normalized["DL"]) for row in bound]
+    )
+    assert bound_gap < 0.06
+
+    # DORA never hurts: worst case within noise of the baseline.
+    assert min(dora) > 0.98
+
+    # On the slack subset DORA and EE's mean gain is large (paper: 24%).
+    slack_mean = np.mean([row.normalized["DORA"] for row in slack])
+    assert slack_mean > 1.15

@@ -1,0 +1,50 @@
+"""Fig. 9: page complexity x interference intensity.
+
+Paper shape: a low-complexity page (Amazon) has fD at the bottom of
+the ladder and fE well above it, so DORA behaves like EE and gains a
+lot; a high-complexity page (IMDB) has fD near the top, so DORA
+behaves like DL with modest gains; rising interference degrades load
+time and can push fD upward.
+"""
+
+from repro.experiments.figures import fig09_complexity_interference
+
+
+def test_fig09_amazon_vs_imdb(benchmark, predictor, config, save_result):
+    result = benchmark.pedantic(
+        fig09_complexity_interference,
+        kwargs={"predictor": predictor, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig09_complexity_interference", result.render())
+
+    amazon = result.pages["amazon"]
+    imdb = result.pages["imdb"]
+
+    # Amazon: fD at the bottom of the evaluated ladder, fE well above.
+    for cell in amazon:
+        assert cell.fd_hz is not None and cell.fd_hz <= 0.9e9
+        assert cell.fe_hz >= cell.fd_hz + 0.3e9
+        # DORA ~ fE for the slack regime.
+        dora_ppw, _ = cell.entries["DORA"]
+        fe_ppw, _ = cell.entries["fE"]
+        assert abs(dora_ppw - fe_ppw) < 0.05
+        assert dora_ppw > 1.10  # big gains (paper: up to 27 %)
+
+    # IMDB: fD in the top frequency region; DORA ~ fD, modest gains.
+    for cell in imdb:
+        assert cell.fd_hz is not None and cell.fd_hz >= 1.7e9
+        dora_ppw, dora_load = cell.entries["DORA"]
+        fd_ppw, _ = cell.entries["fD"]
+        assert abs(dora_ppw - fd_ppw) < 0.08
+        assert dora_load <= config.deadline_s * 1.02
+
+    # Interference pushes IMDB's fD upward between low and high.
+    assert imdb[-1].fd_hz >= imdb[0].fd_hz
+
+    # Load time degrades with interference for both pages.
+    for cells in (amazon, imdb):
+        low_load = cells[0].entries["performance"][1]
+        high_load = cells[-1].entries["performance"][1]
+        assert high_load > low_load

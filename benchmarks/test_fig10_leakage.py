@@ -1,0 +1,42 @@
+"""Fig. 10: the value of leakage awareness.
+
+Paper shape: (a) ignoring leakage picks a too-high frequency and
+costs ~10 % energy efficiency on a warm device; (b) device power at
+high frequencies is visibly higher at room/warm temperature than in a
+cold ambient (leakage), enough to shift the energy-optimal frequency
+down one bin.
+"""
+
+from repro.experiments.figures import fig10_leakage
+
+
+def test_fig10_leakage_awareness(benchmark, predictor, config, save_result):
+    result = benchmark.pedantic(
+        fig10_leakage,
+        kwargs={"predictor": predictor, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig10_leakage", result.render())
+
+    # (a) the ablation's selection sits higher on the frequency ladder
+    # (leakage-blind power tables under-price hot, high-voltage
+    # settings) and loses PPW.  The gain magnitude depends on the
+    # leakage share at the exhibit's operating region (paper: ~10 %,
+    # ours ~3-7 %; see EXPERIMENTS.md).
+    mean_dora = sum(result.dora_freqs_hz) / len(result.dora_freqs_hz)
+    mean_no_lkg = sum(result.no_lkg_freqs_hz) / len(result.no_lkg_freqs_hz)
+    assert mean_no_lkg > mean_dora
+    assert result.leakage_gain > 1.02
+
+    # (b) warm power exceeds cold power at every frequency, and the
+    # gap (leakage) widens with frequency/voltage.
+    warm = {p.freq_hz: p.power_w for p in result.power_curves["warm"]}
+    cold = {p.freq_hz: p.power_w for p in result.power_curves["low-ambient"]}
+    freqs = sorted(warm)
+    gaps = [warm[f] - cold[f] for f in freqs]
+    assert all(g > 0 for g in gaps)
+    assert gaps[-1] > gaps[0] * 1.5
+
+    # The energy-optimal point shifts down one bin on the warm device.
+    assert result.fe_by_ambient["warm"] < result.fe_by_ambient["low-ambient"]

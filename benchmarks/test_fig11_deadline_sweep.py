@@ -1,0 +1,41 @@
+"""Fig. 11: DORA's frequency choice across QoS deadlines.
+
+Paper shape: with a demanding deadline DORA pins the top frequency;
+as the deadline relaxes, fopt steps down through the fD staircase and
+finally plateaus at fE, after which further relaxation changes
+nothing.  No retraining is needed across deadlines.
+"""
+
+from repro.experiments.figures import fig11_deadline_sweep
+
+
+def test_fig11_deadline_staircase(benchmark, predictor, config, save_result):
+    result = benchmark.pedantic(
+        fig11_deadline_sweep,
+        kwargs={"predictor": predictor, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig11_deadline_sweep", result.render())
+
+    deadlines = sorted(result.choices)
+    freqs = [result.choices[d][0] for d in deadlines]
+
+    # Monotone non-increasing staircase.
+    assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+
+    # Demanding deadlines pin fmax.
+    assert freqs[0] == max(freqs)
+    assert freqs[0] >= 2.2e9
+
+    # The staircase actually steps (several distinct settings).
+    assert len(set(freqs)) >= 3
+
+    # A plateau at fE: the last few deadlines share one frequency.
+    assert freqs[-1] == freqs[-2] == freqs[-3]
+    assert freqs[-1] < freqs[0]
+
+    # Relaxed deadlines are still honoured by the realized load time.
+    for deadline, (freq, load) in result.choices.items():
+        if deadline >= 5.0 and load is not None:
+            assert load <= deadline

@@ -1,0 +1,32 @@
+"""The abstract's headline claims, measured end to end.
+
+Paper: DORA improves smartphone energy efficiency by an average of
+16 % (up to 35 %) over the interactive governor while meeting the load
+time deadline whenever the platform can; model accuracies are 97.5 %
+(load time) and 96 % (power).
+"""
+
+from repro.experiments.figures import headline
+
+
+def test_headline_numbers(benchmark, predictor, config, save_result):
+    result = benchmark.pedantic(
+        headline, kwargs={"predictor": predictor, "config": config},
+        rounds=1, iterations=1,
+    )
+    save_result("headline", result.render())
+
+    # Mean improvement in the paper's band.
+    assert 1.10 <= result.mean_improvement <= 1.22
+    # Large best case, never a meaningful regression.
+    assert result.max_improvement > 1.20
+    assert result.min_improvement > 0.98
+    # Inclusive > neutral, both positive.
+    assert result.inclusive_improvement > result.neutral_improvement > 1.05
+    # Model accuracies in the paper's regime.
+    assert result.time_accuracy > 0.95
+    assert result.power_accuracy > 0.95
+    # QoS: most workloads are feasible, and DORA delivers on almost all
+    # of them (paper: feasible 82 %, DORA meets all of those).
+    assert result.feasible_fraction > 0.8
+    assert result.dora_meets_when_feasible > 0.9

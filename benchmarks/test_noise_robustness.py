@@ -1,0 +1,31 @@
+"""Extension: robustness to measurement noise.
+
+The trained models inherit whatever noise the power/timing
+instrumentation carries.  Retraining at half / nominal / 4x the noise
+scale shows graceful degradation: accuracy erodes smoothly and DORA's
+gains shrink but do not collapse, and QoS holds.
+"""
+
+from repro.experiments.figures import noise_robustness_study
+
+
+def test_noise_robustness(benchmark, config, save_result):
+    result = benchmark.pedantic(
+        noise_robustness_study, kwargs={"config": config}, rounds=1, iterations=1
+    )
+    save_result("ext_noise_robustness", result.render())
+
+    half = result.by_noise[0.5]
+    nominal = result.by_noise[1.0]
+    heavy = result.by_noise[4.0]
+
+    # Accuracy degrades monotonically with noise.
+    assert half[0] >= nominal[0] >= heavy[0]
+    assert half[1] >= nominal[1] >= heavy[1]
+
+    # Even at 4x noise the models remain usable: DORA keeps a
+    # double-digit-ish gain and QoS misses stay rare.
+    assert heavy[2] > 1.08
+    assert heavy[3] <= 2
+    # And the gain degrades gracefully, not catastrophically.
+    assert nominal[2] - heavy[2] < 0.08

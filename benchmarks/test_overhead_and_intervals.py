@@ -1,0 +1,50 @@
+"""Sections V-H and IV-C: DORA's runtime overhead and decision interval.
+
+Paper shape: counter reads + fopt computation cost under 1 % of the
+load; frequency switching dominates the overhead but stays within a
+few percent; 50 ms and 100 ms decision intervals perform alike (the
+paper adopts the less intrusive 100 ms).
+"""
+
+from repro.experiments.figures import decision_interval_study, overhead
+
+
+def test_overhead(benchmark, predictor, config, save_result):
+    result = benchmark.pedantic(
+        overhead, kwargs={"predictor": predictor, "config": config},
+        rounds=1, iterations=1,
+    )
+    save_result("overhead", result.render())
+
+    # Switching overhead within the paper's <= 3 % bound.
+    assert result.max_switch_stall_fraction <= 0.03
+    # Monitoring + fopt computation under 1 %.
+    assert result.mean_decision_cost_fraction < 0.01
+    # DORA converges: a handful of switches per load, not thrashing.
+    assert result.mean_switches_per_load < 5.0
+
+
+def test_decision_interval_study(benchmark, predictor, config, save_result):
+    result = benchmark.pedantic(
+        decision_interval_study,
+        kwargs={"predictor": predictor, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("decision_interval", result.render())
+
+    ppw_50, misses_50, decisions_50 = result.by_interval[0.05]
+    ppw_100, misses_100, decisions_100 = result.by_interval[0.1]
+    ppw_250, misses_250, decisions_250 = result.by_interval[0.25]
+
+    # 50 ms and 100 ms perform alike (paper's observation).
+    assert abs(ppw_50 - ppw_100) < 0.02
+    assert misses_100 <= misses_50 + 1
+
+    # 100 ms is less intrusive: roughly half the decision points.
+    assert decisions_50 > 1.6 * decisions_100
+    assert decisions_100 > 1.6 * decisions_250
+
+    # 250 ms never *gains* anything (and with stationary co-runners it
+    # costs little here; on-device it is too coarse for page phases).
+    assert ppw_250 <= ppw_100 + 0.02

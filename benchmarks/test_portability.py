@@ -1,0 +1,83 @@
+"""Portability study: DORA re-parametrized for a different SoC.
+
+The paper claims the governor ports to other platforms with
+re-parametrization only.  This benchmark retrains on a hypothetical
+six-core SoC (different DVFS ladder, bus mapping, cache and memory
+geometry) and re-runs a governor comparison over a sample of the
+workload suite.
+"""
+
+import numpy as np
+
+from repro.experiments.cache import memoized
+from repro.experiments.harness import HarnessConfig, make_governor, run_workload
+from repro.experiments.reporting import format_table, pct
+from repro.experiments.suite import combo_for
+from repro.models.training import TrainingConfig, run_campaign, train_models
+from repro.soc.device import DeviceConfig
+from repro.soc.specs import generic_hexcore_spec
+from repro.workloads.classification import MemoryIntensity
+
+SAMPLE_PAGES = ("amazon", "reddit", "msn", "bbc", "espn", "imdb")
+
+
+def _portability_study():
+    device = DeviceConfig(spec=generic_hexcore_spec())
+    config = HarnessConfig(device=device)
+
+    def build():
+        campaign = TrainingConfig(
+            pages=("amazon", "reddit", "msn", "bbc", "espn", "imdb"),
+            freqs_hz=device.spec.evaluation_freqs_hz,
+            seed=33,
+        )
+        observations = run_campaign(campaign, device_config=device)
+        models = train_models(observations, device_config=device)
+        rows = []
+        ratios = []
+        misses = 0
+        for page in SAMPLE_PAGES:
+            for intensity in MemoryIntensity:
+                combo = combo_for(page, intensity)
+                dora = run_workload(
+                    combo.page_name,
+                    combo.kernel_name,
+                    make_governor("DORA", models.predictor, config),
+                    config,
+                )
+                baseline = run_workload(
+                    combo.page_name,
+                    combo.kernel_name,
+                    make_governor("interactive", None, config),
+                    config,
+                )
+                if dora.load_time_s is None or baseline.load_time_s is None:
+                    misses += 1
+                    continue
+                ratio = dora.ppw / baseline.ppw
+                ratios.append(ratio)
+                if dora.load_time_s > config.deadline_s <= 60 and (
+                    baseline.load_time_s <= config.deadline_s
+                ):
+                    misses += 1
+                rows.append((combo.label, f"{ratio:.3f}", f"{dora.load_time_s:.2f}s"))
+        return float(np.mean(ratios)), misses, rows
+
+    return memoized("portability", ("hexcore", "v1"), build)
+
+
+def test_portability_study(benchmark, save_result):
+    mean_ratio, misses, rows = benchmark.pedantic(
+        _portability_study, rounds=1, iterations=1
+    )
+    save_result(
+        "portability",
+        f"generic-hexcore: DORA mean PPW vs interactive {pct(mean_ratio)}, "
+        f"QoS regressions vs baseline: {misses}\n"
+        + format_table(("workload", "DORA/interactive", "DORA load"), rows),
+    )
+
+    # The headline direction ports: double-digit-ish mean gain, no
+    # combo meaningfully worse than the baseline.
+    assert mean_ratio > 1.08
+    assert misses == 0

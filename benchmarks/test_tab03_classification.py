@@ -1,0 +1,30 @@
+"""Table III: measured workload classification.
+
+Paper shape: the twelve designated pages load in under 2 s alone at
+fmax and the six heavy ones take longer; the nine kernels' measured
+solo L2 MPKI falls into the low (<1) / medium (1-7) / high (>7) bins.
+"""
+
+from repro.browser.pages import LOW_INTENSITY_PAGES
+from repro.experiments.figures import tab03_classification
+
+
+def test_tab03_measured_classification(benchmark, config, save_result):
+    result = benchmark.pedantic(
+        tab03_classification, kwargs={"config": config}, rounds=1, iterations=1
+    )
+    save_result("tab03_classification", result.render())
+
+    # Every page lands in its Table III class.
+    assert result.misclassified_pages(LOW_INTENSITY_PAGES) == []
+    assert len(result.pages) == 18
+
+    # Every kernel lands in its Table III bin.
+    assert len(result.kernels) == 9
+    for kernel, (mpki, measured, expected) in result.kernels.items():
+        assert measured == expected, (kernel, mpki)
+
+    # The spread within bins is real (not a single degenerate value).
+    mpkis = sorted(m for m, _, _ in result.kernels.values())
+    assert mpkis[0] < 1.0
+    assert mpkis[-1] > 7.0

@@ -1,0 +1,102 @@
+"""Interference sweep: how co-runner intensity reshapes the trade-off.
+
+For one page, sweeps a synthetic co-runner across the whole memory-
+intensity spectrum and reports, at each point: the measured load time
+at fmax, the oracle energy-optimal frequency fE, the lowest deadline-
+meeting frequency fD, and what DORA actually picks and achieves.
+
+This is the paper's Section II motivation end to end: as interference
+grows, load times stretch, fD climbs, fE sinks, and a fixed-frequency
+policy cannot stay optimal.
+
+Usage::
+
+    python examples/interference_sweep.py [page] [deadline_s]
+"""
+
+import sys
+
+from repro.api import default_predictor
+from repro.browser.browser import browser_tasks
+from repro.browser.pages import page_by_name
+from repro.core.dora import DoraGovernor
+from repro.core.governors import FixedFrequencyGovernor
+from repro.core.ppw import FrequencyPrediction, find_fd, find_fe
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.governor import RunContext
+from repro.soc.device import Device
+from repro.workloads.generator import synthetic_task
+
+
+def run_once(page_name, intensity, governor, deadline_s):
+    """One engine run with a synthetic co-runner at ``intensity``."""
+    device = Device()
+    page = page_by_name(page_name)
+    tasks = browser_tasks(page).as_list()
+    if intensity is not None:
+        tasks.append(synthetic_task(intensity))
+    context = RunContext(
+        spec=device.spec, deadline_s=deadline_s, page_features=page.features
+    )
+    engine = Engine(
+        device=device,
+        tasks=tasks,
+        governor=governor,
+        context=context,
+        config=EngineConfig(record_trace=False),
+    )
+    return engine.run()
+
+
+def sweep_point(page_name, intensity, predictor, deadline_s):
+    """Oracle points + DORA's behaviour at one intensity."""
+    spec = Device().spec
+    measured = []
+    for state in spec.evaluation_states():
+        governor = FixedFrequencyGovernor(freq_hz=state.freq_hz, label="fixed")
+        result = run_once(page_name, intensity, governor, deadline_s)
+        if result.load_time_s is not None:
+            measured.append(
+                FrequencyPrediction(
+                    freq_hz=state.freq_hz,
+                    load_time_s=result.load_time_s,
+                    power_w=result.avg_power_w,
+                )
+            )
+    fe = find_fe(measured)
+    fd = find_fd(measured, deadline_s)
+    dora = run_once(
+        page_name, intensity, DoraGovernor(predictor=predictor), deadline_s
+    )
+    fmax_load = max(measured, key=lambda p: p.freq_hz).load_time_s
+    return fmax_load, fd, fe, dora
+
+
+def main() -> None:
+    page = sys.argv[1] if len(sys.argv) > 1 else "hao123"
+    deadline_s = float(sys.argv[2]) if len(sys.argv) > 2 else 3.0
+    predictor = default_predictor()
+
+    print(f"page={page}  deadline={deadline_s:.1f}s")
+    print(f"{'intensity':>9} {'load@fmax':>10} {'fD':>6} {'fE':>6} "
+          f"{'DORA load':>10} {'DORA PPW':>9} {'meets':>6}")
+    for intensity in (None, 0.0, 0.25, 0.5, 0.75, 1.0):
+        fmax_load, fd, fe, dora = sweep_point(
+            page, intensity, predictor, deadline_s
+        )
+        label = "solo" if intensity is None else f"{intensity:.2f}"
+        fd_text = f"{fd.freq_hz / 1e9:.2f}" if fd else "none"
+        meets = (
+            "yes"
+            if dora.load_time_s is not None and dora.load_time_s <= deadline_s
+            else "NO"
+        )
+        load = f"{dora.load_time_s:.2f}s" if dora.load_time_s else "timeout"
+        print(
+            f"{label:>9} {fmax_load:>9.2f}s {fd_text:>6} "
+            f"{fe.freq_hz / 1e9:>6.2f} {load:>10} {dora.ppw:>9.4f} {meets:>6}"
+        )
+
+
+if __name__ == "__main__":
+    main()

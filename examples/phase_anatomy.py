@@ -1,0 +1,58 @@
+"""Phase anatomy: where a page load spends its time and energy.
+
+Loads one page under DORA with tracing enabled and dissects the run:
+per-pipeline-phase durations and energy, the whole-run energy split by
+source (cores / memory / leakage / rest-of-device), and the frequency
+timeline showing when DORA made its decisions.
+
+Usage::
+
+    python examples/phase_anatomy.py [page] [kernel]
+"""
+
+import sys
+
+from repro import quick_run
+from repro.sim.analysis import (
+    energy_breakdown,
+    frequency_timeline,
+    phase_breakdown,
+)
+
+
+def main() -> None:
+    page = sys.argv[1] if len(sys.argv) > 1 else "imdb"
+    kernel = sys.argv[2] if len(sys.argv) > 2 else "bfs"
+    if kernel == "none":
+        kernel = None
+
+    result = quick_run(page, kernel=kernel, governor="DORA", record_trace=True)
+    if result.load_time_s is None:
+        print("the page never finished loading")
+        return
+
+    print(f"{page} (+{kernel or 'nothing'}) under DORA: "
+          f"{result.load_time_s:.2f}s, {result.energy_j:.1f}J")
+
+    print("\npipeline phases:")
+    print(f"  {'phase':<8} {'start':>7} {'duration':>9} {'energy':>8} {'mean freq':>10}")
+    for phase in phase_breakdown(result, f"browser-main:{page}"):
+        print(
+            f"  {phase.name:<8} {phase.start_s:>6.2f}s {phase.duration_s:>8.2f}s "
+            f"{phase.energy_j:>7.2f}J {phase.mean_freq_hz / 1e9:>9.2f}G"
+        )
+
+    split = energy_breakdown(result.trace)
+    print("\nenergy by source:")
+    for component in ("core_dynamic", "memory", "leakage", "rest_of_device"):
+        value = getattr(split, f"{component}_j")
+        print(f"  {component:<15} {value:>7.2f}J ({split.fraction(component):>4.0%})")
+
+    print("\nfrequency timeline:")
+    for time_s, freq_hz in frequency_timeline(result.trace):
+        print(f"  t={time_s:>5.2f}s -> {freq_hz / 1e9:.2f} GHz")
+    print(f"\npeak package temperature: {result.trace.max_temperature_c():.1f} C")
+
+
+if __name__ == "__main__":
+    main()

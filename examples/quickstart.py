@@ -1,0 +1,60 @@
+"""Quickstart: load one page under DORA and under the Android baseline.
+
+Runs Reddit next to a memory-hungry co-runner (needleman-wunsch) under
+both the default Android ``interactive`` governor and DORA, then prints
+load time, energy, and energy efficiency side by side.
+
+The first invocation trains DORA's models (a minute or two); the
+trained bundle is cached on disk, so later runs start instantly.
+
+Usage::
+
+    python examples/quickstart.py [page] [kernel]
+"""
+
+import sys
+
+from repro import quick_run
+from repro.workloads.kernels import all_kernels
+
+
+def main() -> None:
+    page = sys.argv[1] if len(sys.argv) > 1 else "reddit"
+    kernel = sys.argv[2] if len(sys.argv) > 2 else "needleman-wunsch"
+    if kernel == "none":
+        kernel = None
+
+    print(f"page={page}  co-runner={kernel or 'none'}  deadline=3.0 s")
+    print(f"(available co-runners: {', '.join(k.name for k in all_kernels())})")
+    print()
+    print(f"{'governor':<12} {'load time':>10} {'avg power':>10} "
+          f"{'energy':>8} {'PPW':>8} {'switches':>9}")
+
+    baseline_ppw = None
+    for governor in ("interactive", "performance", "DORA"):
+        result = quick_run(page, kernel=kernel, governor=governor)
+        if result.load_time_s is None:
+            print(f"{governor:<12} {'timeout':>10}")
+            continue
+        if governor == "interactive":
+            baseline_ppw = result.ppw
+        print(
+            f"{governor:<12} {result.load_time_s:>9.2f}s "
+            f"{result.avg_power_w:>9.2f}W {result.energy_j:>7.1f}J "
+            f"{result.ppw:>8.4f} {result.switch_count:>9d}"
+        )
+
+    if baseline_ppw:
+        dora = quick_run(page, kernel=kernel, governor="DORA")
+        gain = dora.ppw / baseline_ppw - 1.0
+        print()
+        print(f"DORA vs interactive: {gain:+.1%} energy efficiency")
+        residency = dora.trace.frequency_residency()
+        busiest = max(residency, key=residency.get)
+        print(f"DORA spent {residency[busiest]:.0%} of the load at "
+              f"{busiest / 1e9:.2f} GHz "
+              f"(peak temperature {dora.trace.max_temperature_c():.1f} C)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Reproduce every table and figure of the paper in one run.
+
+Walks through all the evaluation-section experiments -- Figs. 1-3,
+5-11, Table III, the headline numbers, the overhead study, the
+decision-interval study, and the two design ablations -- printing each
+one's rows/series.  Heavy artifacts are cached on disk, so the first
+run takes several minutes and later runs finish in seconds.
+
+Usage::
+
+    python examples/reproduce_paper.py [--only fig07]
+"""
+
+import sys
+
+from repro.api import default_predictor, default_trained_models
+from repro.experiments import figures
+from repro.experiments.harness import HarnessConfig
+from repro.experiments.reporting import banner
+
+
+def main() -> None:
+    only = None
+    if "--only" in sys.argv:
+        only = sys.argv[sys.argv.index("--only") + 1]
+
+    config = HarnessConfig()
+    predictor = default_predictor()
+    models = default_trained_models()
+
+    sections = (
+        ("fig01", "Fig. 1: interference vs frequency (Reddit)",
+         lambda: figures.fig01_interference_range(config=config)),
+        ("fig02", "Fig. 2: load time + E-delta vs intensity",
+         lambda: figures.fig02_load_time_and_energy(config=config)),
+        ("fig03", "Fig. 3: the two fopt regimes (ESPN / MSN)",
+         lambda: figures.fig03_fopt_cases(config=config)),
+        ("fig05", "Fig. 5 + V-A: model accuracy and surface selection",
+         lambda: figures.fig05_model_accuracy(models)),
+        ("fig06", "Fig. 6: fopt sensitivity to model errors",
+         lambda: figures.fig06_fopt_sensitivity(config=config)),
+        ("fig07", "Fig. 7: overall energy efficiency and QoS",
+         lambda: figures.fig07_overall(predictor, config)),
+        ("fig08", "Fig. 8: per-workload energy efficiency",
+         lambda: figures.fig08_per_workload(predictor, config)),
+        ("fig09", "Fig. 9: complexity x interference (Amazon / IMDB)",
+         lambda: figures.fig09_complexity_interference(
+             predictor=predictor, config=config)),
+        ("fig10", "Fig. 10: leakage awareness",
+         lambda: figures.fig10_leakage(predictor, config)),
+        ("fig11", "Fig. 11: fopt vs deadline",
+         lambda: figures.fig11_deadline_sweep(
+             predictor=predictor, config=config)),
+        ("tab03", "Table III: measured classification",
+         lambda: figures.tab03_classification(config)),
+        ("headline", "Headline numbers (abstract)",
+         lambda: figures.headline(predictor, config)),
+        ("overhead", "Section V-H: overhead",
+         lambda: figures.overhead(predictor, config)),
+        ("intervals", "Section IV-C: decision interval",
+         lambda: figures.decision_interval_study(predictor, config)),
+        ("ablation-interference", "Ablation: interference-blind models",
+         lambda: figures.interference_ablation(predictor, config)),
+        ("ablation-piecewise", "Ablation: piecewise vs global surfaces",
+         lambda: figures.piecewise_ablation(models)),
+    )
+
+    for key, title, build in sections:
+        if only is not None and only != key:
+            continue
+        print(banner(title))
+        print(build().render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

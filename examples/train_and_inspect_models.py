@@ -1,0 +1,73 @@
+"""Train DORA's models from scratch and inspect what they learned.
+
+Runs a (configurable) measurement campaign, fits the leakage,
+load-time, and power models, prints the Fig. 5-style accuracy
+statistics, and demonstrates a few one-off predictions -- including
+how the predicted optimum moves when interference appears.
+
+Usage::
+
+    python examples/train_and_inspect_models.py [--full]
+
+Without ``--full`` a reduced campaign (6 pages x 8 frequencies) keeps
+the run under a minute.
+"""
+
+import sys
+
+from repro.browser.pages import page_by_name
+from repro.core.ppw import select_fopt
+from repro.models.training import (
+    TrainingConfig,
+    overall_accuracy,
+    page_error_summary,
+    run_campaign,
+    train_models,
+)
+from repro.soc.specs import nexus5_spec
+
+
+def main() -> None:
+    if "--full" in sys.argv:
+        config = TrainingConfig()
+    else:
+        spec = nexus5_spec()
+        config = TrainingConfig(
+            pages=("amazon", "reddit", "msn", "bbc", "espn", "imdb"),
+            freqs_hz=spec.evaluation_freqs_hz,
+            dt_s=0.004,
+        )
+
+    print("running the measurement campaign ...")
+    observations = run_campaign(config)
+    print(f"  {len(observations)} observations "
+          f"({len(set(o.page_name for o in observations))} pages, "
+          f"{len(set(round(o.freq_hz) for o in observations))} frequencies)")
+
+    models = train_models(observations)
+    time_acc, power_acc = overall_accuracy(models)
+    print(f"  load-time model accuracy: {time_acc:.1%} (paper: 97.5%)")
+    print(f"  power model accuracy:     {power_acc:.1%} (paper: 96%)")
+    print(f"  leakage fit RMS residual: {models.leakage_model.rms_error_w * 1000:.1f} mW")
+
+    print("\nper-page mean errors (load time / power):")
+    for page, (time_err, power_err) in sorted(page_error_summary(models).items()):
+        print(f"  {page:<12} {time_err:>6.1%} / {power_err:.1%}")
+
+    predictor = models.predictor
+    census = page_by_name("reddit").features
+    print("\npredicted trade-off for reddit (no interference, 48 C):")
+    print(f"  {'freq':>6} {'load':>7} {'power':>7} {'PPW':>8}")
+    quiet = predictor.prediction_table(census, 0.0, 0.0, 48.0)
+    for point in quiet:
+        print(f"  {point.freq_hz / 1e9:>5.2f}G {point.load_time_s:>6.2f}s "
+              f"{point.power_w:>6.2f}W {point.ppw:>8.4f}")
+    noisy = predictor.prediction_table(census, 10.0, 1.0, 55.0)
+    for label, table in (("no interference", quiet), ("MPKI=10 co-runner", noisy)):
+        fopt = select_fopt(table, 3.0)
+        print(f"  fopt under {label}: {fopt.freq_hz / 1e9:.2f} GHz "
+              f"(predicted load {fopt.load_time_s:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

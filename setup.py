@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so editable installs work in offline
+environments that lack the ``wheel`` package (pip's legacy
+``setup.py develop`` path needs this file).
+"""
+
+from setuptools import setup
+
+setup()

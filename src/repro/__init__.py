@@ -1,0 +1,46 @@
+"""repro: a full reproduction of DORA (ISPASS 2018).
+
+DORA is a model-based DVFS governor that maximizes smartphone energy
+efficiency (performance per watt) for web browsing under memory
+interference from co-scheduled applications, subject to a page-load
+QoS deadline.
+
+The package layers, bottom-up:
+
+* :mod:`repro.soc` -- a simulated Nexus 5-class SoC (cores, shared L2,
+  LPDDR3 contention, thermals, ground-truth power physics, DVFS).
+* :mod:`repro.browser` -- an HTML parser, DOM census, CSS matcher, 18
+  synthetic Alexa-like pages and the render-pipeline workload model.
+* :mod:`repro.workloads` -- the nine Rodinia-like co-run kernels.
+* :mod:`repro.sim` -- the discrete-time multiprogrammed engine.
+* :mod:`repro.models` -- the regression stack DORA trains offline.
+* :mod:`repro.core` -- DORA itself plus every baseline governor.
+* :mod:`repro.experiments` -- the 54-workload evaluation harness and
+  per-figure data generators.
+
+Quick start::
+
+    from repro import quick_run
+    result = quick_run(page="reddit", kernel="backprop", governor="dora")
+    print(result.load_time_s, result.ppw)
+"""
+
+__version__ = "1.0.0"
+
+
+def quick_run(*args, **kwargs):
+    """Lazy wrapper around :func:`repro.api.quick_run` (avoids importing
+    the full stack for users who only want a substrate module)."""
+    from repro.api import quick_run as _quick_run
+
+    return _quick_run(*args, **kwargs)
+
+
+def default_predictor(*args, **kwargs):
+    """Lazy wrapper around :func:`repro.api.default_predictor`."""
+    from repro.api import default_predictor as _default_predictor
+
+    return _default_predictor(*args, **kwargs)
+
+
+__all__ = ["quick_run", "default_predictor", "__version__"]

@@ -1,0 +1,99 @@
+"""High-level convenience API.
+
+Two entry points cover the common cases:
+
+* :func:`default_predictor` -- train (or load from cache) the standard
+  DORA model bundle: full 784-observation campaign, interaction
+  load-time surface, piecewise-linear power surface, fitted Equation-5
+  leakage.
+* :func:`quick_run` -- load one page under a governor and return the
+  engine's :class:`~repro.sim.engine.RunResult`.
+
+Everything here delegates to the layered packages; see
+:mod:`repro.experiments` for full-suite evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cache import memoized
+from repro.experiments.harness import HarnessConfig, make_governor, run_workload
+from repro.models.predictor import DoraPredictor
+from repro.models.training import (
+    TrainedModels,
+    TrainingConfig,
+    run_campaign,
+    train_models,
+)
+from repro.sim.engine import RunResult
+
+
+def default_trained_models(
+    config: TrainingConfig | None = None,
+) -> TrainedModels:
+    """The standard trained model bundle (cached on disk).
+
+    The first call runs the full measurement campaign (a minute or
+    two); later calls load the pickled artifact.
+    """
+    config = config or TrainingConfig()
+
+    def build() -> TrainedModels:
+        observations = run_campaign(config)
+        return train_models(observations)
+
+    key = (
+        "trained-models",
+        config.pages,
+        config.freqs_hz,
+        config.include_solo,
+        config.dt_s,
+        config.seed,
+        config.load_time_noise,
+        config.power_noise,
+    )
+    return memoized("trained-models", key, build)
+
+
+def default_predictor(config: TrainingConfig | None = None) -> DoraPredictor:
+    """The standard :class:`DoraPredictor` (trains on first use)."""
+    return default_trained_models(config).predictor
+
+
+def quick_run(
+    page: str,
+    kernel: str | None = None,
+    governor: str = "DORA",
+    deadline_s: float = 3.0,
+    record_trace: bool = True,
+) -> RunResult:
+    """Load one page under a governor and return the run result.
+
+    Args:
+        page: One of the 18 page names (e.g. ``"reddit"``).
+        kernel: Optional co-runner (e.g. ``"backprop"``); ``None``
+            loads the page alone.
+        governor: ``"DORA"``, ``"DORA_no_lkg"``, ``"interactive"``,
+            ``"performance"``, ``"powersave"``, ``"DL"`` or ``"EE"``
+            (case-insensitive).
+        deadline_s: QoS target handed to model-based governors.
+        record_trace: Keep per-step time series on the result.
+
+    Returns:
+        The engine's run result (load time, energy, PPW, trace).
+    """
+    canonical = {name.lower(): name for name in (
+        "interactive", "performance", "powersave", "DL", "EE",
+        "DORA", "DORA_no_lkg",
+    )}
+    name = canonical.get(governor.lower())
+    if name is None:
+        raise KeyError(f"unknown governor {governor!r}")
+    config = HarnessConfig(deadline_s=deadline_s)
+    predictor = None
+    if name in ("DL", "EE", "DORA", "DORA_no_lkg"):
+        predictor = default_predictor()
+    gov = make_governor(name, predictor, config)
+    return run_workload(
+        page, kernel, gov, config,
+        record_trace=record_trace, deadline_s=deadline_s,
+    )

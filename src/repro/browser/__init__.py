@@ -1,0 +1,35 @@
+"""Web-browser substrate.
+
+The paper's foreground application is the Firefox mobile browser
+loading the 18 most-visited Alexa pages (stored in memory to remove
+network non-determinism).  This subpackage provides the equivalent
+simulated stack:
+
+* :mod:`repro.browser.html` -- HTML tokenizer and parser.
+* :mod:`repro.browser.dom` -- DOM tree and the Table-I feature census
+  (DOM nodes, ``class``/``href`` attributes, ``a``/``div`` tags).
+* :mod:`repro.browser.css` -- style rules and selector matching.
+* :mod:`repro.browser.pages` -- deterministic generator for the 18
+  named Alexa-like pages.
+* :mod:`repro.browser.render` -- the parse/style/layout/paint pipeline
+  turned into a phased compute/memory workload.
+* :mod:`repro.browser.browser` -- the browser task(s) the engine runs.
+"""
+
+from repro.browser.dom import DomNode, PageFeatures, census
+from repro.browser.html import parse_html
+from repro.browser.pages import WebPage, alexa_pages, page_by_name
+from repro.browser.render import RenderPhase, RenderWorkload, build_render_workload
+
+__all__ = [
+    "DomNode",
+    "PageFeatures",
+    "census",
+    "parse_html",
+    "WebPage",
+    "alexa_pages",
+    "page_by_name",
+    "RenderPhase",
+    "RenderWorkload",
+    "build_render_workload",
+]

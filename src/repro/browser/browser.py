@@ -1,0 +1,81 @@
+"""The browser as engine tasks.
+
+The paper runs Firefox on two cores (mobile browsing's thread-level
+parallelism hovers around 2; Section IV-B, footnote 5): a main thread
+that owns the critical rendering path, and helper threads (compositor,
+image decode, GC) that contribute utilization and memory traffic but
+do not gate completion.  We mirror that: the *main* task (core 0) runs
+the four pipeline stages and defines the page load time; the *helper*
+task (core 1) runs a scaled copy of the same stages and is cancelled
+when the main task finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.browser.pages import WebPage
+from repro.browser.render import RenderCostModel, RenderWorkload, build_render_workload
+from repro.sim.task import Task, WorkPhase
+
+#: Fraction of the main-thread work the helper thread performs.
+DEFAULT_HELPER_FRACTION = 0.35
+
+
+@dataclass(frozen=True)
+class BrowserTasks:
+    """The browser's two engine tasks for one page load."""
+
+    main: Task
+    helper: Task
+    workload: RenderWorkload
+
+    def as_list(self) -> list[Task]:
+        """Both tasks, main first."""
+        return [self.main, self.helper]
+
+
+def _scaled_phases(
+    phases: tuple[WorkPhase, ...], fraction: float
+) -> tuple[WorkPhase, ...]:
+    """Scale every phase's instruction budget by ``fraction``."""
+    return tuple(
+        replace(phase, instructions=phase.instructions * fraction)
+        for phase in phases
+    )
+
+
+def browser_tasks(
+    page: WebPage,
+    main_core: int = 0,
+    helper_core: int = 1,
+    helper_fraction: float = DEFAULT_HELPER_FRACTION,
+    cost_model: RenderCostModel | None = None,
+) -> BrowserTasks:
+    """Build the browser tasks that load a page.
+
+    Args:
+        page: The page to load.
+        main_core: Core of the critical render thread.
+        helper_core: Core of the helper thread.
+        helper_fraction: Helper work as a fraction of main work.
+        cost_model: Optional stage-cost override.
+
+    Returns:
+        The main (gating) and helper tasks plus the derived workload.
+    """
+    if not 0.0 < helper_fraction <= 1.0:
+        raise ValueError("helper fraction must lie in (0, 1]")
+    workload = build_render_workload(page, cost_model)
+    main = Task(
+        task_id=f"browser-main:{page.name}",
+        core=main_core,
+        phases=workload.phases,
+        gating=True,
+    )
+    helper = Task(
+        task_id=f"browser-helper:{page.name}",
+        core=helper_core,
+        phases=_scaled_phases(workload.phases, helper_fraction),
+    )
+    return BrowserTasks(main=main, helper=helper, workload=workload)

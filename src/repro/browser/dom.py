@@ -1,0 +1,132 @@
+"""DOM tree and the web-page complexity census.
+
+Prior work (Zhu et al., HPCA 2013) showed -- and the paper adopts --
+that five structural features of a page dominate its load time: the
+number of DOM tree nodes, of ``class`` and ``href`` attributes, and of
+``a`` and ``div`` tags (Table I, X1-X5).  These features are available
+*before* rendering starts, which is what lets DORA predict the load
+time of a page it is about to render.
+
+:func:`census` walks a parsed DOM and extracts exactly those features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class DomNode:
+    """A node of the DOM tree.
+
+    Element nodes have a ``tag``; text nodes use the pseudo-tag
+    ``#text`` and carry their content in ``text``.
+
+    Attributes:
+        tag: Lower-case tag name, or ``#text`` for text nodes.
+        attributes: Attribute name -> value mapping.
+        children: Child nodes in document order.
+        text: Text content (text nodes only).
+    """
+
+    tag: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    children: list["DomNode"] = field(default_factory=list)
+    text: str = ""
+
+    @property
+    def is_text(self) -> bool:
+        """Whether this is a text node."""
+        return self.tag == "#text"
+
+    def append(self, child: "DomNode") -> "DomNode":
+        """Attach a child and return it (builder convenience)."""
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["DomNode"]:
+        """Depth-first pre-order traversal including this node."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def elements(self) -> Iterator["DomNode"]:
+        """Traversal restricted to element (non-text) nodes."""
+        return (node for node in self.walk() if not node.is_text)
+
+    def find_all(self, tag: str) -> list["DomNode"]:
+        """All descendant elements (including self) with a given tag."""
+        wanted = tag.lower()
+        return [node for node in self.elements() if node.tag == wanted]
+
+    def text_content(self) -> str:
+        """Concatenated text of the subtree."""
+        return "".join(node.text for node in self.walk() if node.is_text)
+
+    def depth(self) -> int:
+        """Height of the subtree rooted at this node (leaf = 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+
+@dataclass(frozen=True)
+class PageFeatures:
+    """The five Table-I page-complexity features (X1-X5).
+
+    Attributes:
+        dom_nodes: Total DOM tree nodes (elements + text nodes).
+        class_attributes: Number of elements carrying a ``class``
+            attribute.
+        href_attributes: Number of elements carrying an ``href``
+            attribute.
+        a_tags: Number of ``<a>`` elements.
+        div_tags: Number of ``<div>`` elements.
+    """
+
+    dom_nodes: int
+    class_attributes: int
+    href_attributes: int
+    a_tags: int
+    div_tags: int
+
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
+        """Features in Table-I order (X1..X5)."""
+        return (
+            self.dom_nodes,
+            self.class_attributes,
+            self.href_attributes,
+            self.a_tags,
+            self.div_tags,
+        )
+
+
+def census(root: DomNode) -> PageFeatures:
+    """Extract the Table-I complexity features from a DOM tree."""
+    dom_nodes = 0
+    class_attributes = 0
+    href_attributes = 0
+    a_tags = 0
+    div_tags = 0
+    for node in root.walk():
+        dom_nodes += 1
+        if node.is_text:
+            continue
+        if "class" in node.attributes:
+            class_attributes += 1
+        if "href" in node.attributes:
+            href_attributes += 1
+        if node.tag == "a":
+            a_tags += 1
+        elif node.tag == "div":
+            div_tags += 1
+    return PageFeatures(
+        dom_nodes=dom_nodes,
+        class_attributes=class_attributes,
+        href_attributes=href_attributes,
+        a_tags=a_tags,
+        div_tags=div_tags,
+    )

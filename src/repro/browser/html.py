@@ -1,0 +1,242 @@
+"""HTML tokenizer and parser.
+
+A small but real HTML parser: it tokenizes markup into start tags,
+end tags, text, comments and doctype tokens, then builds a
+:class:`~repro.browser.dom.DomNode` tree with the usual lenient-HTML
+rules (void elements never take children; unmatched end tags are
+dropped; open elements are auto-closed at end of input).
+
+The parser exists so that the page-feature census used by DORA's
+load-time model (:func:`repro.browser.dom.census`) runs on *actual
+markup*, exactly as the instrumented browser in the paper reads real
+pages -- the synthetic Alexa pages in :mod:`repro.browser.pages` are
+generated as HTML text and parsed through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from repro.browser.dom import DomNode
+
+#: Elements that never have content or an end tag.
+VOID_ELEMENTS = frozenset(
+    {
+        "area",
+        "base",
+        "br",
+        "col",
+        "embed",
+        "hr",
+        "img",
+        "input",
+        "link",
+        "meta",
+        "source",
+        "track",
+        "wbr",
+    }
+)
+
+#: Elements whose content is raw text (no nested markup).
+RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
+
+
+class TokenKind(Enum):
+    """Kind of a lexical token."""
+
+    START_TAG = auto()
+    END_TAG = auto()
+    TEXT = auto()
+    COMMENT = auto()
+    DOCTYPE = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: Token kind.
+        data: Tag name (for tags), text content (for text/comments),
+            or the raw doctype string.
+        attributes: Attributes of a start tag.
+        self_closing: Whether a start tag ended with ``/>``.
+    """
+
+    kind: TokenKind
+    data: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    self_closing: bool = False
+
+
+class HtmlSyntaxError(ValueError):
+    """Raised for markup the lenient tokenizer cannot recover from."""
+
+
+def tokenize(markup: str) -> list[Token]:
+    """Tokenize HTML markup.
+
+    Args:
+        markup: The HTML source text.
+
+    Returns:
+        The token stream in document order.  Whitespace-only text runs
+        between tags are preserved as text tokens only when non-empty
+        after stripping (inter-tag indentation is not content).
+    """
+    tokens: list[Token] = []
+    pos = 0
+    length = len(markup)
+    while pos < length:
+        lt = markup.find("<", pos)
+        if lt == -1:
+            _append_text(tokens, markup[pos:])
+            break
+        if lt > pos:
+            _append_text(tokens, markup[pos:lt])
+        if markup.startswith("<!--", lt):
+            end = markup.find("-->", lt + 4)
+            if end == -1:
+                raise HtmlSyntaxError("unterminated comment")
+            tokens.append(Token(TokenKind.COMMENT, markup[lt + 4 : end]))
+            pos = end + 3
+        elif markup.startswith("<!", lt):
+            end = markup.find(">", lt)
+            if end == -1:
+                raise HtmlSyntaxError("unterminated doctype")
+            tokens.append(Token(TokenKind.DOCTYPE, markup[lt + 2 : end].strip()))
+            pos = end + 1
+        elif markup.startswith("</", lt):
+            end = markup.find(">", lt)
+            if end == -1:
+                raise HtmlSyntaxError("unterminated end tag")
+            name = markup[lt + 2 : end].strip().lower()
+            tokens.append(Token(TokenKind.END_TAG, name))
+            pos = end + 1
+        else:
+            end = markup.find(">", lt)
+            if end == -1:
+                raise HtmlSyntaxError("unterminated start tag")
+            inner = markup[lt + 1 : end]
+            self_closing = inner.endswith("/")
+            if self_closing:
+                inner = inner[:-1]
+            name, attributes = _parse_tag_contents(inner)
+            tokens.append(
+                Token(
+                    TokenKind.START_TAG,
+                    name,
+                    attributes=attributes,
+                    self_closing=self_closing,
+                )
+            )
+            pos = end + 1
+            if name in RAW_TEXT_ELEMENTS and not self_closing:
+                pos = _consume_raw_text(markup, pos, name, tokens)
+    return tokens
+
+
+def _append_text(tokens: list[Token], text: str) -> None:
+    if text.strip():
+        tokens.append(Token(TokenKind.TEXT, text))
+
+
+def _consume_raw_text(markup: str, pos: int, name: str, tokens: list[Token]) -> int:
+    """Consume raw text up to the matching ``</name>``."""
+    closer = f"</{name}"
+    lowered = markup.lower()
+    end = lowered.find(closer, pos)
+    if end == -1:
+        raise HtmlSyntaxError(f"unterminated <{name}> element")
+    _append_text(tokens, markup[pos:end])
+    close_gt = markup.find(">", end)
+    if close_gt == -1:
+        raise HtmlSyntaxError(f"unterminated </{name}> tag")
+    tokens.append(Token(TokenKind.END_TAG, name))
+    return close_gt + 1
+
+
+def _parse_tag_contents(inner: str) -> tuple[str, dict[str, str]]:
+    """Split ``tag attr="v" flag`` into a name and attribute mapping."""
+    inner = inner.strip()
+    if not inner:
+        raise HtmlSyntaxError("empty tag")
+    pos = 0
+    while pos < len(inner) and not inner[pos].isspace():
+        pos += 1
+    name = inner[:pos].lower()
+    attributes: dict[str, str] = {}
+    while pos < len(inner):
+        while pos < len(inner) and inner[pos].isspace():
+            pos += 1
+        if pos >= len(inner):
+            break
+        eq_or_space = pos
+        while (
+            eq_or_space < len(inner)
+            and inner[eq_or_space] != "="
+            and not inner[eq_or_space].isspace()
+        ):
+            eq_or_space += 1
+        attr_name = inner[pos:eq_or_space].lower()
+        pos = eq_or_space
+        if pos < len(inner) and inner[pos] == "=":
+            pos += 1
+            if pos < len(inner) and inner[pos] in "\"'":
+                quote = inner[pos]
+                close = inner.find(quote, pos + 1)
+                if close == -1:
+                    raise HtmlSyntaxError("unterminated attribute value")
+                value = inner[pos + 1 : close]
+                pos = close + 1
+            else:
+                start = pos
+                while pos < len(inner) and not inner[pos].isspace():
+                    pos += 1
+                value = inner[start:pos]
+        else:
+            value = ""
+        if attr_name:
+            attributes[attr_name] = value
+    return name, attributes
+
+
+def parse_html(markup: str) -> DomNode:
+    """Parse HTML markup into a DOM tree.
+
+    The returned root is a synthetic ``#document`` node whose children
+    are the top-level elements (typically a single ``<html>``).
+
+    Args:
+        markup: The HTML source text.
+
+    Returns:
+        The document root node.
+    """
+    root = DomNode(tag="#document")
+    stack: list[DomNode] = [root]
+    for token in tokenize(markup):
+        if token.kind is TokenKind.START_TAG:
+            node = DomNode(tag=token.data, attributes=dict(token.attributes))
+            stack[-1].append(node)
+            if token.data not in VOID_ELEMENTS and not token.self_closing:
+                stack.append(node)
+        elif token.kind is TokenKind.END_TAG:
+            _close_element(stack, token.data)
+        elif token.kind is TokenKind.TEXT:
+            stack[-1].append(DomNode(tag="#text", text=token.data))
+        # Comments and doctype do not enter the DOM census.
+    return root
+
+
+def _close_element(stack: list[DomNode], name: str) -> None:
+    """Pop the open-element stack down to (and including) ``name``.
+
+    Unmatched end tags are ignored, matching lenient browser recovery.
+    """
+    for index in range(len(stack) - 1, 0, -1):
+        if stack[index].tag == name:
+            del stack[index:]
+            return

@@ -1,0 +1,272 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` -- the available pages, co-runner kernels, and governors.
+* ``run`` -- load one page under a governor and print the measurement.
+* ``sweep`` -- fixed-frequency sweep of one workload (oracle analysis).
+* ``figures`` -- regenerate paper figures (all or a selection), with
+  optional CSV export.
+* ``train`` -- run the measurement campaign, train, and save the model
+  bundle to JSON.
+* ``classify`` -- the measured Table III.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.browser.pages import alexa_pages
+    from repro.experiments.harness import GOVERNOR_NAMES
+    from repro.workloads.kernels import all_kernels
+
+    print("pages:")
+    for page in alexa_pages():
+        print(f"  {page.name:<12} {page.features.dom_nodes:>5} DOM nodes")
+    print("co-runner kernels:")
+    for kernel in all_kernels():
+        print(
+            f"  {kernel.name:<18} {kernel.expected_intensity.value:<7}"
+            f" (nominal MPKI {kernel.solo_mpki:.1f})"
+        )
+    print("governors:")
+    for name in GOVERNOR_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import quick_run
+
+    result = quick_run(
+        args.page,
+        kernel=args.kernel,
+        governor=args.governor,
+        deadline_s=args.deadline,
+    )
+    if result.load_time_s is None:
+        print("timeout: the page never finished loading")
+        return 1
+    met = "met" if result.load_time_s <= args.deadline else "MISSED"
+    print(f"governor    : {result.governor_name}")
+    print(f"load time   : {result.load_time_s:.3f} s ({met} {args.deadline:.1f} s deadline)")
+    print(f"avg power   : {result.avg_power_w:.2f} W")
+    print(f"energy      : {result.energy_j:.2f} J")
+    print(f"PPW         : {result.ppw:.4f}")
+    print(f"switches    : {result.switch_count}")
+    residency = result.trace.frequency_residency()
+    if residency:
+        parts = ", ".join(
+            f"{freq / 1e9:.2f}GHz:{share:.0%}"
+            for freq, share in sorted(residency.items())
+        )
+        print(f"residency   : {parts}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.ppw import find_fd, find_fe, select_fopt
+    from repro.experiments.harness import HarnessConfig, frequency_sweep
+
+    config = HarnessConfig(deadline_s=args.deadline)
+    sweep = frequency_sweep(args.page, args.kernel, config)
+    print(f"{'freq':>7} {'load':>8} {'power':>7} {'PPW':>8}")
+    for point in sweep:
+        print(
+            f"{point.freq_hz / 1e9:>6.2f}G {point.load_time_s:>7.2f}s "
+            f"{point.power_w:>6.2f}W {point.ppw:>8.4f}"
+        )
+    fd = find_fd(sweep, args.deadline)
+    fe = find_fe(sweep)
+    fopt = select_fopt(sweep, args.deadline)
+    print(f"fD={fd.freq_hz / 1e9 if fd else None} fE={fe.freq_hz / 1e9:.2f} "
+          f"fopt={fopt.freq_hz / 1e9:.2f} (deadline {args.deadline:.1f}s)")
+    return 0
+
+
+_FIGURE_KEYS = (
+    "fig01", "fig02", "fig03", "fig05", "fig06", "fig07", "fig08",
+    "fig09", "fig10", "fig11", "tab03", "headline", "overhead",
+    "intervals", "ablation-interference", "ablation-piecewise",
+    "ext-governors", "ext-margin", "ext-battery", "ext-noise",
+    "ext-double",
+)
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.api import default_predictor, default_trained_models
+    from repro.experiments import figures
+    from repro.experiments.harness import HarnessConfig
+    from repro.experiments.reporting import banner
+
+    config = HarnessConfig()
+    predictor = default_predictor()
+    models = default_trained_models()
+
+    def _battery(predictor, config):
+        from repro.experiments.battery import battery_life
+        from repro.experiments.harness import evaluate_suite
+
+        return battery_life(
+            evaluate_suite(predictor, config=config),
+            governors=("interactive", "performance", "EE", "DORA"),
+            config=config,
+        )
+
+    builders = {
+        "fig01": lambda: figures.fig01_interference_range(config=config),
+        "fig02": lambda: figures.fig02_load_time_and_energy(config=config),
+        "fig03": lambda: figures.fig03_fopt_cases(config=config),
+        "fig05": lambda: figures.fig05_model_accuracy(models),
+        "fig06": lambda: figures.fig06_fopt_sensitivity(config=config),
+        "fig07": lambda: figures.fig07_overall(predictor, config),
+        "fig08": lambda: figures.fig08_per_workload(predictor, config),
+        "fig09": lambda: figures.fig09_complexity_interference(
+            predictor=predictor, config=config
+        ),
+        "fig10": lambda: figures.fig10_leakage(predictor, config),
+        "fig11": lambda: figures.fig11_deadline_sweep(
+            predictor=predictor, config=config
+        ),
+        "tab03": lambda: figures.tab03_classification(config),
+        "headline": lambda: figures.headline(predictor, config),
+        "overhead": lambda: figures.overhead(predictor, config),
+        "intervals": lambda: figures.decision_interval_study(predictor, config),
+        "ablation-interference": lambda: figures.interference_ablation(
+            predictor, config
+        ),
+        "ablation-piecewise": lambda: figures.piecewise_ablation(models),
+        "ext-governors": lambda: figures.extended_governor_comparison(
+            predictor, config
+        ),
+        "ext-margin": lambda: figures.qos_margin_study(predictor, config),
+        "ext-battery": lambda: _battery(predictor, config),
+        "ext-noise": lambda: figures.noise_robustness_study(config),
+        "ext-double": lambda: figures.double_interference_study(
+            predictor, config
+        ),
+    }
+    selected = args.only or list(builders)
+    results = {}
+    for key in selected:
+        if key not in builders:
+            print(f"unknown figure {key!r}; choices: {', '.join(builders)}",
+                  file=sys.stderr)
+            return 2
+        print(banner(key))
+        results[key] = builders[key]()
+        print(results[key].render())
+        print()
+    if args.export:
+        from repro.experiments import export
+
+        exporters = {
+            "fig01": export.export_fig01,
+            "fig07": export.export_fig07,
+            "fig08": export.export_fig08,
+            "fig11": export.export_fig11,
+        }
+        for key, result in results.items():
+            exporter = exporters.get(key)
+            if exporter is not None:
+                path = exporter(result, args.export)
+                print(f"exported {path}")
+            if key == "fig07":
+                print(f"exported {export.export_fig07_cdf(result, args.export)}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.api import default_trained_models
+    from repro.models.serialization import save_predictor
+    from repro.models.training import overall_accuracy
+
+    models = default_trained_models()
+    time_acc, power_acc = overall_accuracy(models)
+    print(f"{len(models.observations)} observations; "
+          f"accuracy: load time {time_acc:.1%}, power {power_acc:.1%}")
+    if args.output:
+        save_predictor(models.predictor, args.output)
+        print(f"saved model bundle to {args.output}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import tab03_classification
+    from repro.experiments.harness import HarnessConfig
+
+    print(tab03_classification(HarnessConfig()).render())
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.experiments.calibration import characterize
+
+    report = characterize()
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DORA (ISPASS 2018) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="pages, kernels, governors").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = commands.add_parser("run", help="load one page")
+    run_parser.add_argument("page")
+    run_parser.add_argument("--kernel", default=None)
+    run_parser.add_argument("--governor", default="DORA")
+    run_parser.add_argument("--deadline", type=float, default=3.0)
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = commands.add_parser("sweep", help="fixed-frequency sweep")
+    sweep_parser.add_argument("page")
+    sweep_parser.add_argument("--kernel", default=None)
+    sweep_parser.add_argument("--deadline", type=float, default=3.0)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    figures_parser = commands.add_parser("figures", help="reproduce figures")
+    figures_parser.add_argument(
+        "--only", nargs="+", choices=_FIGURE_KEYS, default=None
+    )
+    figures_parser.add_argument(
+        "--export", default=None, metavar="DIR", help="also write CSVs"
+    )
+    figures_parser.set_defaults(func=_cmd_figures)
+
+    train_parser = commands.add_parser("train", help="train + save models")
+    train_parser.add_argument("--output", default=None, metavar="JSON")
+    train_parser.set_defaults(func=_cmd_train)
+
+    commands.add_parser("classify", help="measured Table III").set_defaults(
+        func=_cmd_classify
+    )
+    commands.add_parser(
+        "characterize", help="check every calibration property"
+    ).set_defaults(func=_cmd_characterize)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The paper's contribution: DORA and the governors it is compared to.
+
+* :mod:`repro.core.ppw` -- performance-per-watt arithmetic: Equation 1
+  (``fopt = fE if fD <= fE else fD``), Algorithm 1's frequency
+  selection, and the Fig. 6 error-sensitivity analysis (Equation 6).
+* :mod:`repro.core.governors` -- the baselines: ``performance``,
+  ``powersave``, the Android ``interactive`` governor, fixed-frequency
+  (userspace) operation, and the hypothetical model-based DL
+  (deadline-only) and EE (energy-only) governors.
+* :mod:`repro.core.dora` -- the DORA governor itself (Algorithm 1),
+  including the leakage-blind ablation ``DORA_no_lkg`` of Fig. 10.
+"""
+
+from repro.core.ppw import FrequencyPrediction, ppw, select_fopt, find_fd, find_fe
+from repro.core.governors import (
+    DeadlineGovernor,
+    EnergyEfficientGovernor,
+    FixedFrequencyGovernor,
+    InteractiveGovernor,
+    performance_governor,
+    powersave_governor,
+)
+from repro.core.dora import DoraGovernor
+
+__all__ = [
+    "FrequencyPrediction",
+    "ppw",
+    "select_fopt",
+    "find_fd",
+    "find_fe",
+    "DeadlineGovernor",
+    "EnergyEfficientGovernor",
+    "FixedFrequencyGovernor",
+    "InteractiveGovernor",
+    "performance_governor",
+    "powersave_governor",
+    "DoraGovernor",
+]

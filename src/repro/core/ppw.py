@@ -1,0 +1,166 @@
+"""Performance-per-watt arithmetic (Equations 1 and 6, Algorithm 1).
+
+Everything here works on *predictions*: tuples of (frequency, predicted
+load time, predicted power).  The same functions serve the online
+governors (operating on model outputs) and the offline oracle analysis
+(operating on measured sweeps), which is what lets the harness compare
+DORA's choice against fD / fE / fopt ground truth.
+
+Definitions from Section II-C of the paper:
+
+* ``fE`` -- the frequency that maximizes PPW, ignoring any deadline.
+* ``fD`` -- the *lowest* frequency whose load time meets the deadline.
+* ``fopt`` -- Equation 1: ``fE`` when ``fD <= fE`` (the efficient
+  point already meets the deadline), else ``fD``.
+
+Algorithm 1 computes the same fopt directly: among deadline-meeting
+frequencies pick the PPW-max; if none meets the deadline, run at the
+maximum frequency (Section V-D: "DORA prioritizes for QoS and chooses
+the highest frequency setting").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class FrequencyPrediction:
+    """Predicted (or measured) behaviour at one operating point.
+
+    Attributes:
+        freq_hz: The operating point.
+        load_time_s: Page load time at this frequency.
+        power_w: Mean device power at this frequency.
+    """
+
+    freq_hz: float
+    load_time_s: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.load_time_s <= 0:
+            raise ValueError("load time must be positive")
+        if self.power_w <= 0:
+            raise ValueError("power must be positive")
+
+    @property
+    def ppw(self) -> float:
+        """Performance per watt, ``1 / (T * P)``."""
+        return 1.0 / (self.load_time_s * self.power_w)
+
+
+def ppw(load_time_s: float, power_w: float) -> float:
+    """Performance per watt of a load (Section II-C's metric)."""
+    if load_time_s <= 0:
+        raise ValueError("load time must be positive")
+    if power_w <= 0:
+        raise ValueError("power must be positive")
+    return 1.0 / (load_time_s * power_w)
+
+
+def _sorted_by_freq(
+    predictions: Iterable[FrequencyPrediction],
+) -> list[FrequencyPrediction]:
+    table = sorted(predictions, key=lambda p: p.freq_hz)
+    if not table:
+        raise ValueError("prediction table must not be empty")
+    return table
+
+
+def find_fe(predictions: Iterable[FrequencyPrediction]) -> FrequencyPrediction:
+    """The unconstrained energy-optimal point (max PPW)."""
+    table = _sorted_by_freq(predictions)
+    return max(table, key=lambda p: p.ppw)
+
+
+def find_fd(
+    predictions: Iterable[FrequencyPrediction], deadline_s: float
+) -> FrequencyPrediction | None:
+    """The lowest frequency meeting the deadline, or ``None``.
+
+    ``None`` means the page cannot meet the deadline at any available
+    frequency (the paper's 18 %-of-workloads case).
+    """
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    for prediction in _sorted_by_freq(predictions):
+        if prediction.load_time_s <= deadline_s:
+            return prediction
+    return None
+
+
+def select_fopt(
+    predictions: Sequence[FrequencyPrediction], deadline_s: float
+) -> FrequencyPrediction:
+    """Algorithm 1: the PPW-max deadline-meeting point.
+
+    Falls back to the highest frequency when no operating point meets
+    the deadline (load as fast as possible).
+    """
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    table = _sorted_by_freq(predictions)
+    feasible = [p for p in table if p.load_time_s <= deadline_s]
+    if not feasible:
+        return table[-1]
+    return max(feasible, key=lambda p: p.ppw)
+
+
+def ppw_under_error(
+    load_time_s: float, power_w: float, time_error: float, power_error: float
+) -> float:
+    """Equation 6: PPW as seen through model errors.
+
+    ``PPW = 1 / (P * t * (1 + Pe) * (1 + te))`` -- used by the Fig. 6
+    sensitivity analysis to show fopt's robustness to small errors.
+    """
+    if (1 + time_error) <= 0 or (1 + power_error) <= 0:
+        raise ValueError("errors must keep predictions positive")
+    return 1.0 / (
+        power_w * load_time_s * (1.0 + power_error) * (1.0 + time_error)
+    )
+
+
+def fopt_error_margin(
+    predictions: Sequence[FrequencyPrediction], deadline_s: float
+) -> float:
+    """Relative PPW gap between fopt and its best competitor.
+
+    The Fig. 6 argument: frequencies are discrete, so DORA still picks
+    the right fopt as long as the combined model error deflating
+    fopt's estimated PPW is smaller than the gap to the runner-up.
+    Returns ``ppw(fopt) / max(ppw(others)) - 1`` over the
+    deadline-feasible points (``inf`` when fopt is the only feasible
+    point).
+    """
+    table = _sorted_by_freq(predictions)
+    fopt = select_fopt(table, deadline_s)
+    feasible = [p for p in table if p.load_time_s <= deadline_s]
+    competitors = [p for p in feasible if p.freq_hz != fopt.freq_hz]
+    if not competitors:
+        return float("inf")
+    runner_up = max(competitors, key=lambda p: p.ppw)
+    return fopt.ppw / runner_up.ppw - 1.0
+
+
+def fopt_tolerates_errors(
+    predictions: Sequence[FrequencyPrediction],
+    deadline_s: float,
+    time_error: float,
+    power_error: float,
+) -> bool:
+    """Whether fopt survives a worst-case model error at fopt itself.
+
+    Worst case per Equation 6: fopt's own PPW estimate is deflated by
+    ``(1 + te)(1 + Pe)`` while every competitor is estimated exactly.
+    fopt is still chosen when the deflation stays within
+    :func:`fopt_error_margin`.
+    """
+    if (1 + time_error) <= 0 or (1 + power_error) <= 0:
+        raise ValueError("errors must keep predictions positive")
+    deflation = (1.0 + abs(time_error)) * (1.0 + abs(power_error)) - 1.0
+    return deflation <= fopt_error_margin(predictions, deadline_s)

@@ -1,0 +1,32 @@
+"""Evaluation harness: the 54-workload suite and per-figure generators.
+
+* :mod:`repro.experiments.suite` -- the workload matrix of Section
+  IV-B: 18 pages x {low, medium, high} co-runner intensity, split into
+  42 Webpage-Inclusive (training) and 12 Webpage-Neutral (test)
+  combinations.
+* :mod:`repro.experiments.harness` -- runs a combo under a governor,
+  oracle frequency sweeps (fD, fE, Offline-opt), and result caching.
+* :mod:`repro.experiments.figures` -- one data generator per paper
+  figure/table.
+* :mod:`repro.experiments.reporting` -- plain-text rendering of the
+  rows/series the paper reports.
+
+Submodules are imported lazily so that lower layers (e.g.
+:mod:`repro.models.training`) can import :mod:`repro.experiments.suite`
+without dragging in the whole harness.
+"""
+
+from typing import Any
+
+_SUBMODULES = ("suite", "harness", "figures", "reporting")
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SUBMODULES:
+        import importlib
+
+        return importlib.import_module(f"repro.experiments.{name}")
+    raise AttributeError(f"module 'repro.experiments' has no attribute {name!r}")
+
+
+__all__ = list(_SUBMODULES)

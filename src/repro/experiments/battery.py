@@ -1,0 +1,162 @@
+"""Battery-life translation of PPW improvements.
+
+Section IV-A: "our smartphone power measurement and energy efficiency
+results include the power consumption of the entire smartphone ...
+Thus, the energy efficiency improvement results directly translate to
+battery life improvement."  This module makes that translation
+concrete: given a browsing usage profile (page loads per hour over a
+mix of workloads, idle in between) and a battery capacity, it converts
+per-governor run measurements into hours of battery life.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.harness import (
+    ComboEvaluation,
+    HarnessConfig,
+    RunSummary,
+)
+from repro.experiments.reporting import format_table, pct
+from repro.soc.power import CoreActivity
+
+
+@dataclass(frozen=True)
+class UsageProfile:
+    """A browsing-centric usage pattern.
+
+    Attributes:
+        loads_per_hour: Page loads performed each hour.
+        battery_wh: Battery capacity in watt-hours (the Nexus 5 ships
+            a 2300 mAh / ~8.7 Wh pack).
+        idle_display_on: Whether the display stays on between loads
+            (reading) or the device returns to a near-idle state.
+    """
+
+    loads_per_hour: float = 120.0
+    battery_wh: float = 8.7
+    idle_display_on: bool = True
+
+    def __post_init__(self) -> None:
+        if self.loads_per_hour < 0:
+            raise ValueError("loads per hour must be non-negative")
+        if self.battery_wh <= 0:
+            raise ValueError("battery capacity must be positive")
+
+
+def idle_power_w(config: HarnessConfig, display_on: bool) -> float:
+    """Device power between loads at the lowest operating point."""
+    spec = config.device.spec
+    state = spec.min_state
+    activity = {core: CoreActivity(0.0, 0.0) for core in (0, 1, 2)}
+    breakdown = config.device.power_model.breakdown(
+        state=state,
+        core_activity=activity,
+        l2_misses_per_s=0.0,
+        temperature_c=config.device.ambient.ambient_c + 10.0,
+    )
+    power = breakdown.total_w
+    if not display_on:
+        power -= config.device.power_model.rest_of_device_w * 0.8
+    return power
+
+
+@dataclass
+class BatteryEstimate:
+    """Battery life under one governor for a usage profile."""
+
+    governor: str
+    hours: float
+    active_fraction: float
+    mean_load_s: float
+
+
+@dataclass
+class BatteryLifeResult:
+    """Per-governor battery-life comparison."""
+
+    profile: UsageProfile
+    estimates: dict[str, BatteryEstimate] = field(default_factory=dict)
+
+    def extension_vs(self, governor: str, baseline: str) -> float:
+        """Battery-life ratio of ``governor`` over ``baseline``."""
+        return self.estimates[governor].hours / self.estimates[baseline].hours
+
+    def render(self) -> str:
+        rows = []
+        baseline_hours = None
+        if "interactive" in self.estimates:
+            baseline_hours = self.estimates["interactive"].hours
+        for name, estimate in sorted(
+            self.estimates.items(), key=lambda kv: kv[1].hours
+        ):
+            gain = (
+                pct(estimate.hours / baseline_hours)
+                if baseline_hours
+                else "--"
+            )
+            rows.append(
+                (
+                    name,
+                    f"{estimate.hours:.2f} h",
+                    gain,
+                    f"{estimate.active_fraction:.0%}",
+                    f"{estimate.mean_load_s:.2f}s",
+                )
+            )
+        return format_table(
+            ("governor", "battery life", "vs interactive", "active", "mean load"),
+            rows,
+        )
+
+
+def battery_life(
+    evaluations: list[ComboEvaluation],
+    governors: tuple[str, ...] = ("interactive", "performance", "DORA"),
+    profile: UsageProfile | None = None,
+    config: HarnessConfig | None = None,
+) -> BatteryLifeResult:
+    """Translate suite measurements into battery life per governor.
+
+    Each hour consists of ``loads_per_hour`` page loads (each drawn
+    uniformly from the evaluated workloads, using that governor's
+    measured load time and energy) plus idle time at the idle power.
+    Workloads that timed out under a governor are charged at their full
+    measured duration/energy.
+
+    Raises:
+        ValueError: If the hourly load work does not fit in an hour.
+    """
+    profile = profile or UsageProfile()
+    config = config or HarnessConfig()
+    idle_w = idle_power_w(config, profile.idle_display_on)
+
+    result = BatteryLifeResult(profile=profile)
+    for governor in governors:
+        summaries: list[RunSummary] = [
+            evaluation.runs[governor] for evaluation in evaluations
+        ]
+        mean_load_s = sum(
+            s.load_time_s if s.load_time_s is not None else s.duration_s
+            for s in summaries
+        ) / len(summaries)
+        mean_energy_j = sum(s.energy_j for s in summaries) / len(summaries)
+        active_s_per_hour = profile.loads_per_hour * mean_load_s
+        if active_s_per_hour >= 3600.0:
+            raise ValueError(
+                f"{profile.loads_per_hour} loads/hour exceeds an hour of "
+                f"work under {governor}"
+            )
+        idle_s_per_hour = 3600.0 - active_s_per_hour
+        energy_per_hour_j = (
+            profile.loads_per_hour * mean_energy_j + idle_s_per_hour * idle_w
+        )
+        hours = profile.battery_wh * 3600.0 / energy_per_hour_j
+        result.estimates[governor] = BatteryEstimate(
+            governor=governor,
+            hours=hours,
+            active_fraction=active_s_per_hour / 3600.0,
+            mean_load_s=mean_load_s,
+        )
+    return result

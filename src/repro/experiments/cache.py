@@ -1,0 +1,78 @@
+"""Result caching for expensive experiment artifacts.
+
+The training campaign and the 54-workload sweeps cost minutes; every
+figure bench reuses them.  Artifacts are pickled under a cache
+directory keyed by a content hash of (artifact name, parameters,
+calibration tag), so a physics recalibration invalidates stale
+results.
+
+Set ``REPRO_CACHE_DIR`` to relocate the cache, or ``REPRO_NO_CACHE=1``
+to disable it entirely (tests that must re-compute use the latter).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Callable
+
+#: Bump when the simulator's physics calibration changes; invalidates
+#: every cached artifact.
+CALIBRATION_TAG = "dora-repro-v9"
+
+
+def cache_dir() -> Path:
+    """The cache directory (created on demand)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".cache" / "repro"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cache_enabled() -> bool:
+    """Whether caching is active."""
+    return os.environ.get("REPRO_NO_CACHE", "") != "1"
+
+
+def _key_digest(name: str, key: Any) -> str:
+    payload = repr((CALIBRATION_TAG, name, key)).encode()
+    return hashlib.sha1(payload).hexdigest()[:16]
+
+
+def memoized(name: str, key: Any, builder: Callable[[], Any]) -> Any:
+    """Return the cached artifact for (name, key), building if absent.
+
+    Args:
+        name: Artifact family (e.g. ``"trained-models"``).
+        key: Hashable-by-repr parameter description.
+        builder: Zero-argument function producing the artifact.
+    """
+    if not cache_enabled():
+        return builder()
+    path = cache_dir() / f"{name}-{_key_digest(name, key)}.pkl"
+    if path.exists():
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            path.unlink(missing_ok=True)
+    artifact = builder()
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("wb") as handle:
+        pickle.dump(artifact, handle)
+    tmp.replace(path)
+    return artifact
+
+
+def clear() -> int:
+    """Delete every cached artifact; returns the number removed."""
+    removed = 0
+    for path in cache_dir().glob("*.pkl"):
+        path.unlink(missing_ok=True)
+        removed += 1
+    return removed

@@ -1,0 +1,175 @@
+"""Platform characterization: the calibration workflow, formalized.
+
+Recalibrating the substrate (after touching the power physics, the
+cache model, or the page profiles) requires re-checking the structural
+properties DESIGN.md commits to.  This module measures them all and
+reports pass/fail per property, so a recalibration is a single command
+(``python -m repro characterize``) instead of ad-hoc scripts:
+
+1. page classes -- 12 pages load <2 s solo at fmax, 6 load >2 s;
+2. kernel bins -- solo MPKI in <1 / 1-7 / >7;
+3. interference -- high-intensity co-runners inflate load times
+   meaningfully at fmax;
+4. interior optimum -- every sampled combo's PPW peaks strictly inside
+   the frequency ladder;
+5. fE spread -- the optimum moves between memory-heavy and
+   compute-leaning combos;
+6. fmax penalty -- pinning fmax costs double-digit percent PPW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.pages import LOW_INTENSITY_PAGES, page_names
+from repro.core.ppw import find_fe
+from repro.experiments.harness import HarnessConfig, frequency_sweep, run_kernel_alone
+from repro.experiments.reporting import format_table
+from repro.experiments.suite import combo_for
+from repro.workloads.classification import (
+    classify_mpki,
+    classify_page_load_time,
+)
+from repro.workloads.kernels import all_kernels
+
+
+@dataclass(frozen=True)
+class Property:
+    """One checked calibration property."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class CalibrationReport:
+    """Outcome of the full characterization."""
+
+    properties: list[Property]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every property holds."""
+        return all(p.passed for p in self.properties)
+
+    def render(self) -> str:
+        rows = [
+            ("PASS" if p.passed else "FAIL", p.name, p.detail)
+            for p in self.properties
+        ]
+        return format_table(("", "property", "detail"), rows)
+
+
+#: Sampled combos for the PPW-structure checks (a spread of page
+#: complexity and co-runner intensity).
+_SAMPLES = (
+    ("alipay", "LOW"),
+    ("amazon", "MEDIUM"),
+    ("youtube", "HIGH"),
+    ("msn", "MEDIUM"),
+    ("reddit", "HIGH"),
+    ("espn", "LOW"),
+    ("imdb", "MEDIUM"),
+    ("alibaba", "HIGH"),
+)
+
+
+def characterize(config: HarnessConfig | None = None) -> CalibrationReport:
+    """Measure every calibration property (uses the artifact cache)."""
+    config = config or HarnessConfig()
+    fmax = config.device.spec.max_state.freq_hz
+    properties: list[Property] = []
+
+    # 1. Page classes.
+    wrong_pages = []
+    solo_loads = {}
+    for page in page_names():
+        load = frequency_sweep(page, None, config, (fmax,))[0].load_time_s
+        solo_loads[page] = load
+        expected = "low" if page in LOW_INTENSITY_PAGES else "high"
+        if classify_page_load_time(load) != expected:
+            wrong_pages.append(f"{page}={load:.2f}s")
+    properties.append(
+        Property(
+            name="page load-time classes (Table III)",
+            passed=not wrong_pages,
+            detail=("all 18 in class" if not wrong_pages
+                    else "misclassified: " + ", ".join(wrong_pages)),
+        )
+    )
+
+    # 2. Kernel bins.
+    wrong_kernels = []
+    for kernel in all_kernels():
+        result = run_kernel_alone(kernel.name, 1.0, fmax, config)
+        mpki = result.task_summaries[f"kernel:{kernel.name}"].mpki
+        if classify_mpki(mpki) is not kernel.expected_intensity:
+            wrong_kernels.append(f"{kernel.name}={mpki:.2f}")
+    properties.append(
+        Property(
+            name="kernel MPKI bins (Table III)",
+            passed=not wrong_kernels,
+            detail=("all 9 in bin" if not wrong_kernels
+                    else "out of bin: " + ", ".join(wrong_kernels)),
+        )
+    )
+
+    # 3. Interference inflation at fmax.
+    inflations = []
+    for page in ("reddit", "espn", "hao123", "aliexpress"):
+        combo = combo_for(page, _intensity("HIGH"))
+        corun = frequency_sweep(page, combo.kernel_name, config, (fmax,))
+        inflations.append(corun[0].load_time_s / solo_loads[page] - 1.0)
+    worst = min(inflations)
+    properties.append(
+        Property(
+            name="high-intensity interference inflates load time",
+            passed=worst > 0.08,
+            detail=f"inflation {min(inflations):.0%}..{max(inflations):.0%} at fmax",
+        )
+    )
+
+    # 4-6. PPW structure over sampled combos.
+    interior = True
+    fe_values = set()
+    penalties = []
+    for page, intensity in _SAMPLES:
+        combo = combo_for(page, _intensity(intensity))
+        sweep = frequency_sweep(page, combo.kernel_name, config)
+        ordered = sorted(sweep, key=lambda p: p.freq_hz)
+        best = max(range(len(ordered)), key=lambda i: ordered[i].ppw)
+        if best in (0, len(ordered) - 1):
+            interior = False
+        fe_values.add(find_fe(sweep).freq_hz)
+        penalties.append(1.0 - ordered[-1].ppw / ordered[best].ppw)
+    properties.append(
+        Property(
+            name="PPW optimum is interior for every sampled combo",
+            passed=interior,
+            detail=f"{len(_SAMPLES)} combos checked",
+        )
+    )
+    properties.append(
+        Property(
+            name="fE varies across workloads",
+            passed=len(fe_values) >= 2,
+            detail="fE in {" + ", ".join(
+                f"{f / 1e9:.2f}" for f in sorted(fe_values)
+            ) + "} GHz",
+        )
+    )
+    properties.append(
+        Property(
+            name="pinning fmax costs double-digit PPW somewhere",
+            passed=max(penalties) > 0.10,
+            detail=f"penalty {min(penalties):.0%}..{max(penalties):.0%}",
+        )
+    )
+    return CalibrationReport(properties=properties)
+
+
+def _intensity(name: str):
+    from repro.workloads.classification import MemoryIntensity
+
+    return MemoryIntensity[name]

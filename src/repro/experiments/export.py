@@ -1,0 +1,98 @@
+"""CSV export of figure data.
+
+Each figure generator returns a structured result; these helpers
+flatten them into CSV files (one per figure) so the series can be
+re-plotted with any external tool.  Used by the CLI's ``figures
+--export`` mode.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.experiments.figures import (
+    Fig01Result,
+    Fig07Result,
+    Fig08Result,
+    Fig11Result,
+)
+
+
+def _write(path: Path, header: Sequence[str], rows: Iterable[Sequence]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def export_fig01(result: Fig01Result, directory: str | Path) -> Path:
+    """Fig. 1 series: per-frequency solo/min/max load times."""
+    rows = [
+        (freq_hz / 1e9, solo, low, high)
+        for freq_hz, (solo, low, high, _loads) in sorted(result.rows.items())
+    ]
+    return _write(
+        Path(directory) / "fig01_interference_range.csv",
+        ("freq_ghz", "solo_load_s", "min_corun_load_s", "max_corun_load_s"),
+        rows,
+    )
+
+
+def export_fig07(result: Fig07Result, directory: str | Path) -> Path:
+    """Fig. 7(a) bars: group x governor normalized PPW."""
+    rows = []
+    for group, by_governor in result.groups.items():
+        for governor, value in sorted(by_governor.items()):
+            rows.append((group, governor, value))
+    return _write(
+        Path(directory) / "fig07_overall.csv",
+        ("group", "governor", "ppw_vs_interactive"),
+        rows,
+    )
+
+
+def export_fig07_cdf(result: Fig07Result, directory: str | Path) -> Path:
+    """Fig. 7(b) load-time CDFs, one series per governor."""
+    rows = []
+    for governor in sorted(result.load_times):
+        for load, fraction in result.cdf(governor):
+            rows.append((governor, load, fraction))
+    return _write(
+        Path(directory) / "fig07_load_time_cdf.csv",
+        ("governor", "load_time_s", "fraction"),
+        rows,
+    )
+
+
+def export_fig08(result: Fig08Result, directory: str | Path) -> Path:
+    """Fig. 8 series: sorted per-workload normalized PPW."""
+    governors = ("interactive", "performance", "fD", "fE", "DORA", "DL", "EE")
+    rows = []
+    for index, row in enumerate(result.rows, start=1):
+        rows.append(
+            (index, row.label, row.regime)
+            + tuple(row.normalized[g] for g in governors)
+        )
+    return _write(
+        Path(directory) / "fig08_per_workload.csv",
+        ("rank", "workload", "regime") + governors,
+        rows,
+    )
+
+
+def export_fig11(result: Fig11Result, directory: str | Path) -> Path:
+    """Fig. 11 staircase: deadline vs chosen frequency."""
+    rows = [
+        (deadline, freq_hz / 1e9, load if load is not None else "")
+        for deadline, (freq_hz, load) in sorted(result.choices.items())
+    ]
+    return _write(
+        Path(directory) / "fig11_deadline_sweep.csv",
+        ("deadline_s", "fopt_ghz", "load_time_s"),
+        rows,
+    )

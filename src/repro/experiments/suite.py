@@ -1,0 +1,106 @@
+"""The evaluation workload matrix (Section IV-B, Table III).
+
+The paper constructs 54 multiprogrammed workloads: each of the 18
+pages co-scheduled with one application from each memory-intensity
+category (low / medium / high).  14 pages form the training set, so 42
+combinations are "Webpage-Inclusive"; the remaining 12 (4 unseen pages
+x 3 intensities) are "Webpage-Neutral".
+
+The concrete kernel paired with a page rotates deterministically
+through its intensity bin, so every Table III kernel appears in the
+suite and the interference signal (X6) covers each bin's spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.pages import page_names
+from repro.workloads.classification import MemoryIntensity
+from repro.workloads.kernels import KernelSpec, kernel_by_name, kernels_by_intensity
+
+#: Pages whose workloads form the Webpage-Neutral (held-out) set.
+#: Two low-complexity and two high-complexity pages, so the test set
+#: spans both Table III classes.
+NEUTRAL_PAGES: tuple[str, ...] = ("cnn", "ebay", "firefox", "imgur")
+
+
+def training_pages() -> tuple[str, ...]:
+    """The 14 pages used to train the models."""
+    return tuple(name for name in page_names() if name not in NEUTRAL_PAGES)
+
+
+@dataclass(frozen=True)
+class WorkloadCombo:
+    """One page + co-runner pairing of the evaluation matrix.
+
+    Attributes:
+        page_name: The foreground page.
+        kernel_name: The co-scheduled kernel.
+        intensity: The kernel's Table III bin.
+        webpage_inclusive: True when the page is in the training set.
+    """
+
+    page_name: str
+    kernel_name: str
+    intensity: MemoryIntensity
+    webpage_inclusive: bool
+
+    @property
+    def label(self) -> str:
+        """Short display label."""
+        return f"{self.page_name}+{self.kernel_name}"
+
+    def kernel(self) -> KernelSpec:
+        """The kernel spec of this combo."""
+        return kernel_by_name(self.kernel_name)
+
+
+def _kernel_for(page_index: int, intensity: MemoryIntensity) -> KernelSpec:
+    """Deterministic rotation of a bin's kernels across pages."""
+    pool = kernels_by_intensity(intensity)
+    return pool[page_index % len(pool)]
+
+
+def all_combos() -> tuple[WorkloadCombo, ...]:
+    """All 54 workload combinations, page-major, low-to-high intensity."""
+    train = set(training_pages())
+    combos = []
+    for page_index, page_name in enumerate(page_names()):
+        for intensity in (
+            MemoryIntensity.LOW,
+            MemoryIntensity.MEDIUM,
+            MemoryIntensity.HIGH,
+        ):
+            kernel = _kernel_for(page_index, intensity)
+            combos.append(
+                WorkloadCombo(
+                    page_name=page_name,
+                    kernel_name=kernel.name,
+                    intensity=intensity,
+                    webpage_inclusive=page_name in train,
+                )
+            )
+    return tuple(combos)
+
+
+def inclusive_combos() -> tuple[WorkloadCombo, ...]:
+    """The 42 Webpage-Inclusive (training-page) workloads."""
+    return tuple(c for c in all_combos() if c.webpage_inclusive)
+
+
+def neutral_combos() -> tuple[WorkloadCombo, ...]:
+    """The 12 Webpage-Neutral (held-out-page) workloads."""
+    return tuple(c for c in all_combos() if not c.webpage_inclusive)
+
+
+def combo_for(page_name: str, intensity: MemoryIntensity) -> WorkloadCombo:
+    """The suite's combo for a page at a given intensity bin.
+
+    Raises:
+        KeyError: If the page is not one of the 18.
+    """
+    for combo in all_combos():
+        if combo.page_name == page_name and combo.intensity is intensity:
+            return combo
+    raise KeyError(f"no combo for page {page_name!r}")

@@ -1,0 +1,62 @@
+"""The piecewise web-page load-time model (Section III-A).
+
+On the MSM8974 a set of core frequencies shares one memory-bus
+frequency, and the load-time-vs-frequency relationship bends at every
+bus change.  The paper therefore builds one response surface per bus
+group; the paper's model selection (Section V-A) picks the
+*interaction* form -- quadratic matches its accuracy but is more
+complex, linear is far worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.features import IndependentVariables
+from repro.models.piecewise import PiecewiseSurface
+from repro.models.regression import ResponseSurface
+
+#: Floor applied to load-time predictions (seconds); regression
+#: extrapolation must never produce a non-positive time.
+MIN_PREDICTED_LOAD_TIME_S = 0.05
+
+
+@dataclass(frozen=True)
+class PiecewiseLoadTimeModel:
+    """One fitted load-time surface per memory-bus frequency group."""
+
+    surfaces: PiecewiseSurface
+
+    @classmethod
+    def fit(
+        cls,
+        rows: list[IndependentVariables],
+        load_times_s: list[float],
+        surface: ResponseSurface = ResponseSurface.INTERACTION,
+    ) -> "PiecewiseLoadTimeModel":
+        """Fit the per-bus-group surfaces.
+
+        Args:
+            rows: Table-I predictor rows.
+            load_times_s: Observed load times, parallel to ``rows``.
+            surface: Response-surface family (interaction by default,
+                per the paper's model selection).
+        """
+        return cls(
+            surfaces=PiecewiseSurface.fit(rows, load_times_s, surface)
+        )
+
+    @property
+    def surface(self) -> ResponseSurface:
+        """The response-surface family in use."""
+        return self.surfaces.surface
+
+    def predict(self, row: IndependentVariables) -> float:
+        """Predicted load time (seconds, floored to stay positive)."""
+        return max(MIN_PREDICTED_LOAD_TIME_S, self.surfaces.predict(row))
+
+    def predict_many(self, rows: list[IndependentVariables]) -> np.ndarray:
+        """Vector of predictions for a list of rows."""
+        return np.array([self.predict(row) for row in rows])

@@ -1,0 +1,90 @@
+"""Shared piecewise (per-memory-bus-group) surface fitting.
+
+Section III-A's structural insight -- each core frequency maps onto a
+memory-bus frequency, so model the response separately per bus group
+-- applies to both the load-time and the power response.  This module
+holds the routing/fitting logic once; the two concrete models wrap it
+with their target-specific floors and surface defaults.
+
+Fits minimize *relative* squared error (weights ``1 / y**2``), since
+the paper judges both models in percent terms (Fig. 5) and the
+responses span an order of magnitude across pages and frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.features import IndependentVariables, stack
+from repro.models.regression import RegressionModel, ResponseSurface
+
+
+@dataclass(frozen=True)
+class PiecewiseSurface:
+    """One fitted response surface per memory-bus frequency group."""
+
+    segments: dict[float, RegressionModel]
+    surface: ResponseSurface
+
+    @classmethod
+    def fit(
+        cls,
+        rows: list[IndependentVariables],
+        targets: list[float],
+        surface: ResponseSurface,
+        relative_weighting: bool = True,
+        ridge_cross: float = 1e-5,
+    ) -> "PiecewiseSurface":
+        """Fit the per-bus-group surfaces.
+
+        Args:
+            rows: Table-I predictor rows; each row's ``bus_freq_mhz``
+                routes it to a segment.
+            targets: Responses, parallel to ``rows``.
+            surface: Response-surface family used for every segment.
+            relative_weighting: Weight observations by ``1 / y**2``.
+            ridge_cross: Tiny L2 penalty on cross-product coefficients
+                (see :meth:`RegressionModel.fit`); keeps the interaction
+                surface stable on held-out (Webpage-Neutral) pages.
+
+        Raises:
+            ValueError: On mismatched lengths or an empty dataset.
+        """
+        if len(rows) != len(targets):
+            raise ValueError("rows and targets must be parallel")
+        if not rows:
+            raise ValueError("cannot fit on an empty dataset")
+        target_array = np.asarray(targets, dtype=float)
+        if relative_weighting and np.any(target_array <= 0):
+            raise ValueError("relative weighting requires positive targets")
+        groups: dict[float, list[int]] = {}
+        for index, row in enumerate(rows):
+            groups.setdefault(row.bus_freq_mhz * 1e6, []).append(index)
+        all_inputs = stack(rows)
+        segments = {}
+        for bus_hz, indices in groups.items():
+            weights = None
+            if relative_weighting:
+                weights = 1.0 / target_array[indices] ** 2
+            segments[bus_hz] = RegressionModel.fit(
+                all_inputs[indices],
+                target_array[indices],
+                surface,
+                weights,
+                ridge_cross=ridge_cross,
+            )
+        return cls(segments=segments, surface=surface)
+
+    def segment_for(self, bus_freq_hz: float) -> RegressionModel:
+        """The surface trained for a bus frequency (nearest fallback)."""
+        if bus_freq_hz in self.segments:
+            return self.segments[bus_freq_hz]
+        nearest = min(self.segments, key=lambda bus: abs(bus - bus_freq_hz))
+        return self.segments[nearest]
+
+    def predict(self, row: IndependentVariables) -> float:
+        """Raw (un-floored) prediction for one row."""
+        segment = self.segment_for(row.bus_freq_mhz * 1e6)
+        return segment.predict_one(row.as_array())

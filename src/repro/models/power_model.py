@@ -1,0 +1,67 @@
+"""The dynamic-power model (Section III-B).
+
+The paper models the dynamic component of device power with the same
+variable families as the load-time model -- page complexity, L2 MPKI,
+co-runner core utilization, and core frequency -- and finds a *linear*
+surface matches the accuracy of richer forms, so adopts it.  We keep
+the linear form but fit it per memory-bus group (the same structural
+split the load-time model uses): within one bus group the frequency
+range is narrow, so the ``V^2 f`` curvature of switching power is
+locally linear, and accuracy lands in the paper's 4 % regime.
+
+The dynamic component is what remains of measured device power after
+subtracting the fitted leakage estimate; at prediction time DORA adds
+the leakage term back (see :class:`repro.models.predictor.DoraPredictor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.features import IndependentVariables
+from repro.models.piecewise import PiecewiseSurface
+from repro.models.regression import ResponseSurface
+
+#: Floor applied to power predictions (watts).
+MIN_PREDICTED_POWER_W = 0.2
+
+
+@dataclass(frozen=True)
+class DynamicPowerModel:
+    """A piecewise-linear dynamic-power surface over the Table-I variables."""
+
+    surfaces: PiecewiseSurface
+
+    @classmethod
+    def fit(
+        cls,
+        rows: list[IndependentVariables],
+        dynamic_power_w: list[float],
+        surface: ResponseSurface = ResponseSurface.LINEAR,
+    ) -> "DynamicPowerModel":
+        """Fit the surface (the paper selects the linear form).
+
+        Args:
+            rows: Table-I predictor rows.
+            dynamic_power_w: Leakage-subtracted power observations,
+                parallel to ``rows``.
+            surface: Response-surface family.
+        """
+        return cls(
+            surfaces=PiecewiseSurface.fit(rows, dynamic_power_w, surface)
+        )
+
+    @property
+    def surface(self) -> ResponseSurface:
+        """The response-surface family in use."""
+        return self.surfaces.surface
+
+    def predict(self, row: IndependentVariables) -> float:
+        """Predicted dynamic power (watts, floored to stay positive)."""
+        return max(MIN_PREDICTED_POWER_W, self.surfaces.predict(row))
+
+    def predict_many(self, rows: list[IndependentVariables]) -> np.ndarray:
+        """Vector of predictions for a list of rows."""
+        return np.array([self.predict(row) for row in rows])

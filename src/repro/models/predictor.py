@@ -1,0 +1,121 @@
+"""DoraPredictor: the trained models packaged for online use.
+
+At every decision interval DORA sweeps the candidate frequencies and,
+for each, builds the Table-I row from the page census and the *current*
+measured conditions (co-runner MPKI, co-runner utilization, package
+temperature), then predicts:
+
+* load time -- the piecewise interaction model;
+* total power -- the linear dynamic-power surface *plus* the fitted
+  Equation-5 leakage at the candidate's voltage and the current
+  temperature.
+
+``include_leakage=False`` reproduces the ``DORA_no_lkg`` ablation of
+Fig. 10(a): power is the dynamic component only, which underestimates
+the true cost of hot, high-voltage operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.dom import PageFeatures
+from repro.core.ppw import FrequencyPrediction
+from repro.models.features import IndependentVariables
+from repro.models.leakage_fit import FittedLeakageModel
+from repro.models.performance_model import PiecewiseLoadTimeModel
+from repro.models.power_model import DynamicPowerModel
+from repro.soc.specs import PlatformSpec
+
+
+@dataclass(frozen=True)
+class DoraPredictor:
+    """The statically-trained prediction bundle DORA consults online.
+
+    Attributes:
+        spec: Platform description (candidate frequencies, voltages,
+            core-to-bus mapping).
+        load_time_model: Piecewise load-time surface.
+        power_model: Dynamic-power surface (leakage-subtracted target).
+        leakage_model: Fitted Equation-5 leakage model.
+        candidate_freqs_hz: Frequencies swept at each decision.  By
+            default the platform's evaluation set (the eight settings
+            the paper's figures sweep and its governors select from --
+            every fopt the paper reports, e.g. Fig. 11's 1.19 GHz, is
+            one of these); pass the full DVFS table to widen the
+            search.
+    """
+
+    spec: PlatformSpec
+    load_time_model: PiecewiseLoadTimeModel
+    power_model: DynamicPowerModel
+    leakage_model: FittedLeakageModel
+    candidate_freqs_hz: tuple[float, ...] = field(default=())
+
+    def candidates(self) -> tuple[float, ...]:
+        """The frequencies swept by Algorithm 1's loop."""
+        if self.candidate_freqs_hz:
+            return self.candidate_freqs_hz
+        return tuple(
+            state.freq_hz for state in self.spec.evaluation_states()
+        )
+
+    def row_for(
+        self,
+        page_features: PageFeatures,
+        corunner_mpki: float,
+        corunner_utilization: float,
+        freq_hz: float,
+    ) -> IndependentVariables:
+        """The Table-I row for one candidate frequency."""
+        state = self.spec.state_for(freq_hz)
+        return IndependentVariables.build(
+            page=page_features,
+            l2_mpki=corunner_mpki,
+            core_freq_hz=state.freq_hz,
+            bus_freq_hz=state.bus_freq_hz,
+            corunner_utilization=corunner_utilization,
+        )
+
+    def predict_at(
+        self,
+        page_features: PageFeatures,
+        corunner_mpki: float,
+        corunner_utilization: float,
+        temperature_c: float,
+        freq_hz: float,
+        include_leakage: bool = True,
+    ) -> FrequencyPrediction:
+        """Predicted (load time, power) at one candidate frequency."""
+        row = self.row_for(
+            page_features, corunner_mpki, corunner_utilization, freq_hz
+        )
+        load_time_s = self.load_time_model.predict(row)
+        power_w = self.power_model.predict(row)
+        if include_leakage:
+            state = self.spec.state_for(freq_hz)
+            power_w += self.leakage_model.predict(state.voltage_v, temperature_c)
+        return FrequencyPrediction(
+            freq_hz=freq_hz, load_time_s=load_time_s, power_w=power_w
+        )
+
+    def prediction_table(
+        self,
+        page_features: PageFeatures,
+        corunner_mpki: float,
+        corunner_utilization: float,
+        temperature_c: float,
+        include_leakage: bool = True,
+    ) -> list[FrequencyPrediction]:
+        """Predictions at every candidate frequency (Algorithm 1's loop)."""
+        return [
+            self.predict_at(
+                page_features,
+                corunner_mpki,
+                corunner_utilization,
+                temperature_c,
+                freq_hz,
+                include_leakage=include_leakage,
+            )
+            for freq_hz in self.candidates()
+        ]

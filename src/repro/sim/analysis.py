@@ -1,0 +1,200 @@
+"""Post-hoc analysis of run traces.
+
+The engine's :class:`~repro.sim.trace.Trace` records power, frequency,
+and temperature per step plus phase/completion stamps.  This module
+turns a trace into the quantities a systems paper reports about a
+single run: per-phase durations and energy, energy decomposed by
+source, and the frequency timeline around governor decisions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.sim.engine import RunResult
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """One pipeline phase's share of a run.
+
+    Attributes:
+        task_id: Task the phase belongs to.
+        name: Phase name.
+        start_s: Phase entry time.
+        duration_s: Wall-clock spent in the phase.
+        energy_j: Whole-device energy over the phase window.
+        mean_freq_hz: Mean operating frequency during the phase.
+    """
+
+    task_id: str
+    name: str
+    start_s: float
+    duration_s: float
+    energy_j: float
+    mean_freq_hz: float
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Whole-run energy decomposed by source (joules)."""
+
+    core_dynamic_j: float
+    memory_j: float
+    leakage_j: float
+    rest_of_device_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Sum of all components."""
+        return (
+            self.core_dynamic_j
+            + self.memory_j
+            + self.leakage_j
+            + self.rest_of_device_j
+        )
+
+    def fraction(self, component: str) -> float:
+        """Share of one component (by field name, without ``_j``)."""
+        value = getattr(self, f"{component}_j")
+        total = self.total_j
+        return value / total if total > 0 else 0.0
+
+
+def _window_indices(trace: Trace, start_s: float, end_s: float) -> tuple[int, int]:
+    """Half-open sample window [start, end) so adjacent phases never
+    share a sample."""
+    lo = bisect_left(trace.times_s, start_s)
+    hi = bisect_left(trace.times_s, end_s)
+    return lo, hi
+
+
+def _dt(trace: Trace) -> float:
+    if len(trace) < 2:
+        return trace.times_s[0] if trace.times_s else 0.0
+    return trace.times_s[1] - trace.times_s[0]
+
+
+def energy_breakdown(trace: Trace) -> EnergyBreakdown:
+    """Integrate the trace's power components into energies.
+
+    Raises:
+        ValueError: If the trace is empty (tracing was disabled).
+    """
+    if not trace.times_s:
+        raise ValueError("trace is empty; run the engine with record_trace")
+    dt = _dt(trace)
+    return EnergyBreakdown(
+        core_dynamic_j=sum(trace.core_dynamic_w) * dt,
+        memory_j=sum(trace.memory_w) * dt,
+        leakage_j=sum(trace.leakage_w) * dt,
+        rest_of_device_j=sum(
+            total - dynamic - memory - leakage
+            for total, dynamic, memory, leakage in zip(
+                trace.total_power_w,
+                trace.core_dynamic_w,
+                trace.memory_w,
+                trace.leakage_w,
+            )
+        )
+        * dt,
+    )
+
+
+def phase_breakdown(result: RunResult, task_id: str) -> list[PhaseBreakdown]:
+    """Per-phase durations and energy for one task.
+
+    Phase windows come from the trace's phase-entry stamps; the last
+    phase ends at the task's finish time (or the end of the run).
+
+    Raises:
+        ValueError: On an empty trace or an unknown task.
+    """
+    trace = result.trace
+    if not trace.times_s:
+        raise ValueError("trace is empty; run the engine with record_trace")
+    starts = [
+        (time_s, name)
+        for time_s, owner, name in trace.phase_starts
+        if owner == task_id
+    ]
+    if not starts:
+        raise ValueError(f"no phases recorded for task {task_id!r}")
+    summary = result.task_summaries.get(task_id)
+    end_of_task = (
+        summary.finish_time_s
+        if summary is not None and summary.finish_time_s is not None
+        else result.duration_s
+    )
+    dt = _dt(trace)
+    phases = []
+    for index, (start_s, name) in enumerate(starts):
+        end_s = (
+            starts[index + 1][0] if index + 1 < len(starts) else end_of_task
+        )
+        lo, hi = _window_indices(trace, start_s, end_s)
+        window_power = trace.total_power_w[lo:hi]
+        window_freq = trace.freqs_hz[lo:hi]
+        energy = sum(window_power) * dt
+        mean_freq = (
+            sum(window_freq) / len(window_freq) if window_freq else 0.0
+        )
+        phases.append(
+            PhaseBreakdown(
+                task_id=task_id,
+                name=name,
+                start_s=start_s,
+                duration_s=max(0.0, end_s - start_s),
+                energy_j=energy,
+                mean_freq_hz=mean_freq,
+            )
+        )
+    return phases
+
+
+def frequency_timeline(trace: Trace) -> list[tuple[float, float]]:
+    """(time, frequency) change points of a run.
+
+    The first entry is the run's starting frequency; an entry is added
+    whenever the operating point changes.
+    """
+    timeline: list[tuple[float, float]] = []
+    for time_s, freq_hz in zip(trace.times_s, trace.freqs_hz):
+        if not timeline or timeline[-1][1] != freq_hz:
+            timeline.append((time_s, freq_hz))
+    return timeline
+
+
+def summarize_run(result: RunResult, gating_task_id: str) -> str:
+    """One-paragraph human summary of a run (used by the CLI/examples)."""
+    lines = []
+    load = result.load_time_s
+    lines.append(
+        f"load={'timeout' if load is None else f'{load:.3f}s'} "
+        f"energy={result.energy_j:.2f}J power={result.avg_power_w:.2f}W "
+        f"ppw={result.ppw:.4f}"
+    )
+    if result.trace.times_s:
+        breakdown = energy_breakdown(result.trace)
+        lines.append(
+            "energy split: "
+            f"cores {breakdown.fraction('core_dynamic'):.0%}, "
+            f"memory {breakdown.fraction('memory'):.0%}, "
+            f"leakage {breakdown.fraction('leakage'):.0%}, "
+            f"rest-of-device {breakdown.fraction('rest_of_device'):.0%}"
+        )
+        try:
+            phases = phase_breakdown(result, gating_task_id)
+        except ValueError:
+            phases = []
+        if phases:
+            lines.append(
+                "phases: "
+                + ", ".join(
+                    f"{p.name} {p.duration_s:.2f}s/{p.energy_j:.1f}J"
+                    for p in phases
+                )
+            )
+    return "\n".join(lines)

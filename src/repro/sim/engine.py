@@ -1,0 +1,398 @@
+"""The discrete-time multiprogrammed simulator.
+
+The engine advances the device and its tasks in fixed steps (2 ms by
+default).  Each step couples every model in the substrate:
+
+1. **Cache sharing** -- every running task's L2 access stream competes
+   for the shared cache; the analytic model returns each task's
+   effective miss ratio (interference inflates the browser's MPKI).
+2. **Bus contention** -- the aggregate miss rate loads the memory bus;
+   the queueing model returns the current miss penalty in core cycles
+   (which also grows with core frequency -- the memory wall).
+3. **Progress** -- each task retires ``dt * f / CPI`` instructions.
+4. **Power and heat** -- the ground-truth power model evaluates the
+   operating point and activity; the thermal model integrates it; the
+   resulting temperature feeds back into leakage next step.
+5. **Counters** -- raw events accumulate in the counter bank.
+6. **Governor** -- at its decision interval the governor receives the
+   drained counter window and may retarget the frequency; switches
+   cost stall time and energy (Section V-H).
+
+A run ends when every gating task (the browser's main thread) has
+finished, or at the safety timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.governor import Governor, GovernorDecisionLog, RunContext
+from repro.sim.scheduler import plan
+from repro.sim.task import Task
+from repro.sim.trace import Trace
+from repro.soc.cache import CacheDemand
+from repro.soc.cpu import CpiInputs, effective_cpi
+from repro.soc.device import Device
+from repro.soc.power import CoreActivity
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine tuning knobs.
+
+    Attributes:
+        dt_s: Simulation step.
+        max_time_s: Safety timeout; a run that has not finished by then
+            is reported as timed out.
+        record_trace: Whether to keep per-step time series.
+    """
+
+    dt_s: float = 0.002
+    max_time_s: float = 30.0
+    record_trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dt_s <= 0:
+            raise ValueError("dt must be positive")
+        if self.max_time_s <= self.dt_s:
+            raise ValueError("max_time must exceed dt")
+
+
+@dataclass
+class TaskSummary:
+    """Aggregate statistics of one task over a run."""
+
+    instructions: float = 0.0
+    l2_accesses: float = 0.0
+    l2_misses: float = 0.0
+    busy_s: float = 0.0
+    finish_time_s: float | None = None
+    loops_completed: int = 0
+
+    @property
+    def mpki(self) -> float:
+        """L2 misses per kilo-instruction over the whole run."""
+        if self.instructions <= 0:
+            return 0.0
+        return self.l2_misses / (self.instructions / 1000.0)
+
+
+@dataclass
+class RunResult:
+    """Summary of one simulated run.
+
+    Attributes:
+        load_time_s: Completion time of the gating task(s), or ``None``
+            if the run timed out before the page finished loading.
+        duration_s: Total simulated time (== load time unless timed out).
+        energy_j: Whole-device energy integrated over the run.
+        trace: Per-step time series (empty when tracing is disabled).
+        decisions: Frequency decisions the governor made.
+        switch_count: DVFS transitions performed.
+        switch_stall_s: Total core-stall time spent switching.
+        switch_energy_j: Energy spent on transitions (included in
+            ``energy_j``).
+        task_summaries: Per-task aggregate statistics.
+        final_temperature_c: Package temperature at the end of the run.
+        governor_name: Name of the governor that ran.
+    """
+
+    load_time_s: float | None
+    #: Whether the run had gating tasks at all (duration-bounded
+    #: measurement runs, e.g. a kernel alone, have none).
+    had_gating: bool
+    duration_s: float
+    energy_j: float
+    trace: Trace
+    decisions: GovernorDecisionLog
+    switch_count: int
+    switch_stall_s: float
+    switch_energy_j: float
+    task_summaries: dict[str, TaskSummary]
+    final_temperature_c: float
+    #: Time-averaged package temperature over the run (the leakage
+    #: models consume this).
+    avg_temperature_c: float
+    governor_name: str
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether a page load was expected but never finished."""
+        return self.had_gating and self.load_time_s is None
+
+    @property
+    def avg_power_w(self) -> float:
+        """Mean device power over the run."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.energy_j / self.duration_s
+
+    @property
+    def ppw(self) -> float:
+        """Energy efficiency: performance per watt, 1 / (T * P).
+
+        Timed-out runs score 0 (the page never loaded).
+        """
+        if self.load_time_s is None or self.load_time_s <= 0:
+            return 0.0
+        power = self.avg_power_w
+        if power <= 0:
+            return 0.0
+        return 1.0 / (self.load_time_s * power)
+
+    def meets_deadline(self, deadline_s: float) -> bool:
+        """Whether the load finished within a QoS target."""
+        return self.load_time_s is not None and self.load_time_s <= deadline_s
+
+    def summary_for(self, task_id: str) -> TaskSummary:
+        """Summary of one task (KeyError if the id is unknown)."""
+        return self.task_summaries[task_id]
+
+
+def _solve_equilibrium(
+    device: Device, state, running: list[Task]
+) -> tuple[dict[str, tuple[float, float]], float, float]:
+    """Solve the coupled cache/bus/CPI fixed point for one step regime.
+
+    Access rates depend on CPI, CPI depends on the miss penalty, the
+    miss penalty depends on the aggregate miss rate, and miss ratios
+    depend on every sharer's access rate.  A handful of fixed-point
+    iterations converges; the result is reused for every step sharing
+    the same (frequency, active phases) combination.
+
+    Returns:
+        ``(per_task, total_misses_per_s, penalty_cycles)`` where
+        ``per_task`` maps task id to its (effective CPI, miss ratio).
+    """
+    cpi = {task.task_id: task.current_phase.cpi_base for task in running}
+    ratios: dict[str, float] = {
+        task.task_id: task.current_phase.solo_miss_ratio for task in running
+    }
+    total_misses_per_s = 0.0
+    penalty_cycles = 0.0
+    for _ in range(6):
+        demands = []
+        for task in running:
+            phase = task.current_phase
+            instr_rate = state.freq_hz / cpi[task.task_id]
+            demands.append(
+                CacheDemand(
+                    task_id=task.task_id,
+                    accesses_per_s=instr_rate * phase.l2_apki / 1000.0,
+                    working_set_bytes=phase.working_set_bytes,
+                    solo_miss_ratio=phase.solo_miss_ratio,
+                )
+            )
+        ratios = device.cache.miss_ratios(demands)
+        total_misses_per_s = sum(
+            demand.accesses_per_s * ratios[demand.task_id] for demand in demands
+        )
+        penalty_cycles = device.memory.miss_penalty_cycles(
+            total_misses_per_s, state.bus_freq_hz, state.freq_hz
+        )
+        for task in running:
+            phase = task.current_phase
+            cpi[task.task_id] = effective_cpi(
+                CpiInputs(
+                    cpi_base=phase.cpi_base,
+                    l2_apki=phase.l2_apki,
+                    miss_ratio=ratios[task.task_id],
+                    miss_penalty_cycles=penalty_cycles,
+                    mlp=phase.mlp,
+                )
+            )
+    per_task = {
+        task.task_id: (cpi[task.task_id], ratios[task.task_id])
+        for task in running
+    }
+    return per_task, total_misses_per_s, penalty_cycles
+
+
+@dataclass
+class Engine:
+    """Drives one run: a device, a task set, and a governor."""
+
+    device: Device
+    tasks: list[Task]
+    governor: Governor
+    context: RunContext
+    config: EngineConfig = field(default_factory=EngineConfig)
+
+    def run(self) -> RunResult:
+        """Simulate until the gating tasks finish (or timeout)."""
+        device = self.device
+        spec = device.spec
+        core_plan = plan(self.tasks, spec)
+        for task in self.tasks:
+            task.reset()
+        device.reset()
+        self.governor.reset()
+
+        initial = self.governor.initial_frequency(self.context)
+        if initial is not None:
+            device.actuator.reset(spec.state_for(initial))
+
+        dt = self.config.dt_s
+        trace = Trace()
+        decisions = GovernorDecisionLog()
+        summaries = {task.task_id: TaskSummary() for task in self.tasks}
+        last_phase = {task.task_id: -1 for task in self.tasks}
+        # The cache/bus/CPI equilibrium depends only on (frequency,
+        # active phases); solve it once per combination and reuse.
+        equilibrium_memo: dict[tuple, tuple[dict[str, tuple[float, float]], float, float]] = {}
+
+        time_s = 0.0
+        energy_j = 0.0
+        temperature_integral = 0.0
+        pending_stall_s = 0.0
+        window_s = 0.0
+        gating_ids = set(core_plan.gating_task_ids)
+        load_time_s: float | None = None
+
+        while time_s < self.config.max_time_s:
+            state = device.state
+            running = [task for task in self.tasks if task.running]
+            if not running:
+                break
+
+            # Stall from a recent frequency switch eats into the step.
+            useful_dt = dt
+            if pending_stall_s > 0:
+                consumed = min(pending_stall_s, dt)
+                useful_dt = dt - consumed
+                pending_stall_s -= consumed
+
+            # 1+2. Cache sharing and bus contention: solve (or recall)
+            # the coupled equilibrium for this (frequency, phases) set.
+            memo_key = (
+                state.freq_hz,
+                tuple((task.task_id, task.phase_index) for task in running),
+            )
+            equilibrium = equilibrium_memo.get(memo_key)
+            if equilibrium is None:
+                equilibrium = _solve_equilibrium(device, state, running)
+                equilibrium_memo[memo_key] = equilibrium
+            per_task, total_misses_per_s, _penalty_cycles = equilibrium
+
+            # 3. Progress + 5. counters.
+            activities: dict[int, CoreActivity] = {}
+            per_core_power: dict[int, float] = {}
+            for task in running:
+                phase = task.current_phase
+                if last_phase[task.task_id] != task.phase_index:
+                    last_phase[task.task_id] = task.phase_index
+                    if self.config.record_trace:
+                        trace.phase_starts.append((time_s, task.task_id, phase.name))
+                cpi, ratio = per_task[task.task_id]
+                budget = useful_dt * state.freq_hz / cpi
+                retired = task.advance(budget, time_s + dt) if budget > 0 else 0.0
+                busy_fraction = retired / budget if budget > 0 else 0.0
+                busy_s = useful_dt * busy_fraction
+                accesses = retired * phase.l2_apki / 1000.0
+                misses = accesses * ratio
+
+                summary = summaries[task.task_id]
+                summary.instructions += retired
+                summary.l2_accesses += accesses
+                summary.l2_misses += misses
+                summary.busy_s += busy_s
+
+                device.counters.add(
+                    core=task.core,
+                    busy_s=busy_s,
+                    instructions=retired,
+                    l2_accesses=accesses,
+                    l2_misses=misses,
+                )
+                utilization = min(1.0, busy_s / dt) if dt > 0 else 0.0
+                activities[task.core] = CoreActivity(
+                    utilization=utilization,
+                    effective_capacitance_f=phase.capacitance_f,
+                )
+                per_core_power[task.core] = (
+                    phase.capacitance_f
+                    * utilization
+                    * state.voltage_v**2
+                    * state.freq_hz
+                )
+                if task.finished and self.config.record_trace:
+                    trace.completions.append((time_s + dt, task.task_id))
+
+            # Online-but-idle cores (their task already finished).
+            for core in core_plan.online_cores:
+                if core not in activities:
+                    activities[core] = CoreActivity(
+                        utilization=0.0, effective_capacitance_f=0.0
+                    )
+                    per_core_power[core] = 0.0
+
+            # 4. Power and heat.
+            breakdown = device.power_model.breakdown(
+                state=state,
+                core_activity=activities,
+                l2_misses_per_s=total_misses_per_s,
+                temperature_c=device.thermal.soc_temperature_c,
+            )
+            device.thermal.step(breakdown.soc_w, dt, per_core_power)
+            energy_j += breakdown.total_w * dt
+            temperature_integral += device.thermal.soc_temperature_c * dt
+            device.counters.advance(dt)
+            time_s += dt
+            if self.config.record_trace:
+                trace.record(
+                    time_s, state.freq_hz, breakdown, device.thermal.soc_temperature_c
+                )
+
+            # Run completion check.
+            if gating_ids and all(
+                task.finished for task in self.tasks if task.gating
+            ):
+                load_time_s = max(
+                    task.finish_time_s or time_s
+                    for task in self.tasks
+                    if task.gating
+                )
+                for task in self.tasks:
+                    task.cancel(time_s)
+                break
+
+            # 6. Governor decision point.
+            window_s += dt
+            if window_s + 1e-12 >= self.governor.interval_s:
+                sample = device.counters.drain(
+                    freq_hz=state.freq_hz,
+                    soc_temperature_c=device.thermal.soc_temperature_c,
+                    core_temperatures_c={
+                        core: device.thermal.core_temperature_c(core)
+                        for core in core_plan.online_cores
+                    },
+                )
+                self.context.elapsed_s = time_s
+                target = self.governor.decide(sample, self.context)
+                decisions.record(time_s, target)
+                pending_stall_s += device.actuator.set_frequency(target)
+                window_s = 0.0
+
+        for task in self.tasks:
+            summaries[task.task_id].finish_time_s = task.finish_time_s
+            summaries[task.task_id].loops_completed = task.loops_completed
+
+        energy_j += device.actuator.total_switch_energy_j
+        return RunResult(
+            load_time_s=load_time_s,
+            had_gating=bool(gating_ids),
+            duration_s=time_s,
+            energy_j=energy_j,
+            trace=trace,
+            decisions=decisions,
+            switch_count=device.actuator.switch_count,
+            switch_stall_s=device.actuator.total_stall_s,
+            switch_energy_j=device.actuator.total_switch_energy_j,
+            task_summaries=summaries,
+            final_temperature_c=device.thermal.soc_temperature_c,
+            avg_temperature_c=(
+                temperature_integral / time_s if time_s > 0 else
+                device.thermal.soc_temperature_c
+            ),
+            governor_name=self.governor.name,
+        )

@@ -1,0 +1,103 @@
+"""DAQ-like measurement of a run: energy, PPW, and noise.
+
+The paper measures whole-device power with a National Instruments DAQ
+and instruments page source for load-time stamps (Section IV-A).  Real
+measurements carry noise -- supply ripple, sampling quantization,
+timer jitter -- and that noise is what bounds the trained models'
+accuracy (Fig. 5).  :class:`Measurement` wraps a
+:class:`~repro.sim.engine.RunResult` with multiplicative log-normal
+noise drawn from a seeded generator, so a training campaign sees
+realistic observation error while remaining fully reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.engine import RunResult
+
+#: Default relative noise (sigma of the log-normal) on each observable.
+DEFAULT_LOAD_TIME_NOISE = 0.015
+DEFAULT_POWER_NOISE = 0.025
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Noisy observation of one run.
+
+    Attributes:
+        result: The underlying (noise-free) run result.
+        load_time_s: Observed load time, or ``None`` on timeout.
+        avg_power_w: Observed mean device power.
+    """
+
+    result: RunResult
+    load_time_s: float | None
+    avg_power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        """Observed energy over the run window."""
+        return self.avg_power_w * self.result.duration_s
+
+    @property
+    def ppw(self) -> float:
+        """Observed performance per watt (0 on timeout)."""
+        if self.load_time_s is None or self.load_time_s <= 0:
+            return 0.0
+        if self.avg_power_w <= 0:
+            return 0.0
+        return 1.0 / (self.load_time_s * self.avg_power_w)
+
+
+def observe(
+    result: RunResult,
+    rng: np.random.Generator | None = None,
+    load_time_noise: float = DEFAULT_LOAD_TIME_NOISE,
+    power_noise: float = DEFAULT_POWER_NOISE,
+) -> Measurement:
+    """Take a noisy measurement of a run.
+
+    Args:
+        result: The run to observe.
+        rng: Seeded generator; ``None`` gives a noise-free observation
+            (useful for oracle sweeps).
+        load_time_noise: Relative noise on the load-time stamp.
+        power_noise: Relative noise on the power reading.
+
+    Returns:
+        The observation.  Noise is multiplicative log-normal, so
+        observed values stay positive and the relative error has the
+        requested scale.
+    """
+    load_time = result.load_time_s
+    power = result.avg_power_w
+    if rng is not None:
+        if load_time is not None:
+            load_time = load_time * _lognormal_factor(rng, load_time_noise)
+        power = power * _lognormal_factor(rng, power_noise)
+    return Measurement(result=result, load_time_s=load_time, avg_power_w=power)
+
+
+def _lognormal_factor(rng: np.random.Generator, sigma: float) -> float:
+    """A mean-one multiplicative noise factor."""
+    if sigma < 0:
+        raise ValueError("noise scale must be non-negative")
+    if sigma == 0:
+        return 1.0
+    # exp(N(-sigma^2/2, sigma)) has mean exactly 1.
+    return math.exp(rng.normal(-0.5 * sigma * sigma, sigma))
+
+
+def percent_error(predicted: float, observed: float) -> float:
+    """Absolute relative error, as used for the Fig. 5 CDFs.
+
+    Raises:
+        ValueError: If the observed value is not positive.
+    """
+    if observed <= 0:
+        raise ValueError("observed value must be positive")
+    return abs(predicted - observed) / observed

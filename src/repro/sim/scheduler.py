@@ -1,0 +1,76 @@
+"""Static core assignment.
+
+The paper's multiprogrammed setup is deliberately static: Firefox on
+cores 0-1, the co-run application pinned to core 2, core 3 switched
+off (Section IV-B).  This module validates a task set against that
+discipline so the engine can assume one runnable task per core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.task import Task
+from repro.soc.specs import PlatformSpec
+
+
+class SchedulingError(ValueError):
+    """Raised when a task set violates the static-assignment rules."""
+
+
+@dataclass(frozen=True)
+class CorePlan:
+    """The validated placement of a run's tasks.
+
+    Attributes:
+        tasks_by_core: One task per online core.
+        online_cores: Cores that have a task (others are power-gated).
+        gating_task_ids: Tasks whose completion ends the run.
+    """
+
+    tasks_by_core: dict[int, Task]
+    online_cores: tuple[int, ...]
+    gating_task_ids: tuple[str, ...]
+
+
+def plan(tasks: list[Task], spec: PlatformSpec) -> CorePlan:
+    """Validate and freeze the placement of a task set.
+
+    Args:
+        tasks: The run's tasks, each pinned to a core.
+        spec: Platform description (for the core count).
+
+    Returns:
+        The core plan.
+
+    Raises:
+        SchedulingError: On core collisions, out-of-range cores, or
+            duplicate task ids.  A run with no gating task is allowed:
+            it is duration-bounded by the engine's ``max_time_s`` (used
+            for e.g. measuring a kernel running alone).
+    """
+    if not tasks:
+        raise SchedulingError("a run needs at least one task")
+    by_core: dict[int, Task] = {}
+    ids: set[str] = set()
+    for task in tasks:
+        if task.core >= spec.num_cores:
+            raise SchedulingError(
+                f"task {task.task_id!r} pinned to core {task.core}, but "
+                f"{spec.name} has {spec.num_cores} cores"
+            )
+        if task.core in by_core:
+            raise SchedulingError(
+                f"core {task.core} assigned twice "
+                f"({by_core[task.core].task_id!r} and {task.task_id!r})"
+            )
+        if task.task_id in ids:
+            raise SchedulingError(f"duplicate task id {task.task_id!r}")
+        by_core[task.core] = task
+        ids.add(task.task_id)
+    gating = tuple(task.task_id for task in tasks if task.gating)
+    return CorePlan(
+        tasks_by_core=by_core,
+        online_cores=tuple(sorted(by_core)),
+        gating_task_ids=gating,
+    )

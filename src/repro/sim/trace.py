@@ -1,0 +1,83 @@
+"""Time-series recording of a simulation run.
+
+The trace is the simulated counterpart of the paper's DAQ + perf logs:
+a sampled record of device power (decomposed), operating point, and
+temperature, plus per-task completion stamps.  Figures that plot
+behaviour *during* a load (and the overhead analysis of Section V-H)
+read it; everything else uses the summary :class:`~repro.sim.engine.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soc.power import PowerBreakdown
+
+
+@dataclass
+class Trace:
+    """Per-step samples of one run.
+
+    All lists are parallel; entry ``i`` describes the state at the end
+    of step ``i``.
+    """
+
+    times_s: list[float] = field(default_factory=list)
+    freqs_hz: list[float] = field(default_factory=list)
+    total_power_w: list[float] = field(default_factory=list)
+    core_dynamic_w: list[float] = field(default_factory=list)
+    memory_w: list[float] = field(default_factory=list)
+    leakage_w: list[float] = field(default_factory=list)
+    soc_temperature_c: list[float] = field(default_factory=list)
+    #: (time, task_id) pairs stamped when a task finishes.
+    completions: list[tuple[float, str]] = field(default_factory=list)
+    #: (time, task_id, phase name) pairs stamped at phase entry.
+    phase_starts: list[tuple[float, str, str]] = field(default_factory=list)
+
+    def record(
+        self,
+        time_s: float,
+        freq_hz: float,
+        breakdown: PowerBreakdown,
+        temperature_c: float,
+    ) -> None:
+        """Append one step's sample."""
+        self.times_s.append(time_s)
+        self.freqs_hz.append(freq_hz)
+        self.total_power_w.append(breakdown.total_w)
+        self.core_dynamic_w.append(breakdown.core_dynamic_w)
+        self.memory_w.append(breakdown.memory_w)
+        self.leakage_w.append(breakdown.leakage_w)
+        self.soc_temperature_c.append(temperature_c)
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+    def mean_power_w(self, until_s: float | None = None) -> float:
+        """Average total power, optionally truncated at ``until_s``."""
+        if not self.times_s:
+            return 0.0
+        total = 0.0
+        count = 0
+        for time_s, power_w in zip(self.times_s, self.total_power_w):
+            if until_s is not None and time_s > until_s:
+                break
+            total += power_w
+            count += 1
+        return total / count if count else 0.0
+
+    def max_temperature_c(self) -> float:
+        """Hottest package temperature seen during the run."""
+        if not self.soc_temperature_c:
+            return 0.0
+        return max(self.soc_temperature_c)
+
+    def frequency_residency(self) -> dict[float, float]:
+        """Fraction of samples spent at each frequency."""
+        if not self.freqs_hz:
+            return {}
+        counts: dict[float, int] = {}
+        for freq in self.freqs_hz:
+            counts[freq] = counts.get(freq, 0) + 1
+        total = len(self.freqs_hz)
+        return {freq: count / total for freq, count in counts.items()}

@@ -1,0 +1,41 @@
+"""SoC platform substrate.
+
+This subpackage simulates the hardware platform the paper evaluates on
+(a Google Nexus 5 built around the Qualcomm MSM8974 Snapdragon 800):
+
+* :mod:`repro.soc.specs` -- the static platform description (DVFS table,
+  voltage map, core-to-memory-bus frequency mapping, cache and memory
+  geometry, Table II of the paper).
+* :mod:`repro.soc.cpu` -- per-core performance model (CPI as a function
+  of the task's instruction mix and the effective memory latency).
+* :mod:`repro.soc.cache` -- the shared 2 MB L2 cache.  Two models are
+  provided: a fast analytic occupancy/sharing model used by the
+  discrete-time engine, and a true set-associative cache simulator used
+  for calibration and unit testing.
+* :mod:`repro.soc.memory` -- LPDDR3 bandwidth and queueing-contention
+  model.
+* :mod:`repro.soc.thermal` -- lumped-RC thermal model with per-core
+  sensors and ambient-temperature scenarios.
+* :mod:`repro.soc.power` / :mod:`repro.soc.leakage` -- ground-truth
+  dynamic and leakage power physics of the simulated device.
+* :mod:`repro.soc.dvfs` -- the DVFS actuator (frequency switching with a
+  latency/energy cost).
+* :mod:`repro.soc.counters` -- perf-like windowed hardware counters.
+* :mod:`repro.soc.device` -- the :class:`~repro.soc.device.Device`
+  facade that wires everything together.
+"""
+
+from repro.soc.specs import (
+    DvfsState,
+    PlatformSpec,
+    nexus5_spec,
+)
+from repro.soc.device import Device, DeviceConfig
+
+__all__ = [
+    "DvfsState",
+    "PlatformSpec",
+    "nexus5_spec",
+    "Device",
+    "DeviceConfig",
+]

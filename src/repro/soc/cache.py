@@ -1,0 +1,295 @@
+"""Shared L2 cache models.
+
+Memory interference in the paper originates in the shared 2 MB L2: a
+co-scheduled application streams data through the cache, evicts the
+browser's lines early, and inflates the browser's L2 MPKI -- which both
+slows the page load (more DRAM stalls) and costs extra energy (more
+data movement, the E-delta of Fig. 2b).
+
+Two models are provided:
+
+* :class:`AnalyticSharedCache` -- a fast fixed-point occupancy model
+  used inside the discrete-time engine.  Each sharer's occupancy is
+  proportional to its insertion (miss) rate; a sharer whose effective
+  share falls below its working set sees its miss ratio grow along a
+  power-law miss-rate curve.  This is the standard analytic treatment
+  of LRU sharing (in the spirit of cache utility curves) and gives the
+  qualitative behaviour the paper measures: higher co-runner intensity
+  leads to higher browser MPKI.
+* :class:`SetAssociativeCache` -- a true set-associative, write-back,
+  LRU cache simulator.  The engine does not pay for per-access
+  simulation; this model exists to *calibrate and validate* the
+  analytic model (tests drive both with matched synthetic streams) and
+  as a substrate component in its own right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soc.specs import CacheGeometry
+
+
+# ----------------------------------------------------------------------
+# Analytic sharing model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CacheDemand:
+    """One sharer's demand on the shared cache during a window.
+
+    Attributes:
+        task_id: Stable identifier of the sharer.
+        accesses_per_s: L2 access rate (L1 misses reaching the L2).
+        working_set_bytes: Size of the data the task re-references; if
+            the task's cache share covers this, it runs at its solo
+            miss ratio.
+        solo_miss_ratio: L2 miss ratio when the task has the whole
+            cache to itself (compulsory + capacity misses at full
+            capacity).
+    """
+
+    task_id: str
+    accesses_per_s: float
+    working_set_bytes: float
+    solo_miss_ratio: float
+
+    def __post_init__(self) -> None:
+        if self.accesses_per_s < 0:
+            raise ValueError("access rate must be non-negative")
+        if self.working_set_bytes < 0:
+            raise ValueError("working set must be non-negative")
+        if not 0.0 <= self.solo_miss_ratio <= 1.0:
+            raise ValueError("solo miss ratio must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class AnalyticSharedCache:
+    """Fixed-point occupancy model of an LRU-shared cache.
+
+    The model iterates two coupled relations to a fixed point:
+
+    1. *Miss-rate curve*: a sharer with effective capacity ``S`` below
+       its working set ``W`` misses at
+       ``m = m_solo * (W / S) ** theta`` (capped at 1.0); with
+       ``S >= W`` it misses at ``m_solo``.
+    2. *Occupancy*: capacity is divided in proportion to each sharer's
+       insertion rate (``accesses * miss_ratio``), the equilibrium of
+       random-replacement/LRU sharing.
+
+    Attributes:
+        geometry: Shared cache geometry.
+        theta: Exponent of the power-law miss-rate curve.  Larger theta
+            means sharper sensitivity to lost capacity.
+        iterations: Fixed-point iteration count (converges fast).
+    """
+
+    geometry: CacheGeometry
+    theta: float = 0.75
+    iterations: int = 8
+
+    def miss_ratios(self, demands: list[CacheDemand]) -> dict[str, float]:
+        """Effective miss ratio of each sharer under contention.
+
+        Args:
+            demands: Demands of all concurrently-running sharers.
+
+        Returns:
+            Mapping from task id to effective L2 miss ratio.  A task
+            running alone gets its solo miss ratio back (possibly
+            raised if its working set exceeds the cache).
+        """
+        active = [d for d in demands if d.accesses_per_s > 0]
+        result = {d.task_id: d.solo_miss_ratio for d in demands}
+        if not active:
+            return result
+
+        capacity = float(self.geometry.size_bytes)
+        # Initial occupancy guess: proportional to access rate, capped
+        # by working set.
+        total_access = sum(d.accesses_per_s for d in active)
+        shares = {
+            d.task_id: min(
+                d.working_set_bytes, capacity * d.accesses_per_s / total_access
+            )
+            for d in active
+        }
+        ratios: dict[str, float] = {}
+        for _ in range(self.iterations):
+            ratios = {
+                d.task_id: self._miss_ratio(d, shares[d.task_id]) for d in active
+            }
+            insertion = {
+                d.task_id: d.accesses_per_s * ratios[d.task_id] for d in active
+            }
+            total_insertion = sum(insertion.values())
+            if total_insertion <= 0:
+                break
+            # Capacity splits by insertion rate, but no sharer occupies
+            # more than its working set; leftover capacity is
+            # redistributed to the constrained sharers.
+            shares = self._allocate(active, insertion, total_insertion, capacity)
+        result.update(ratios)
+        return result
+
+    def _miss_ratio(self, demand: CacheDemand, share_bytes: float) -> float:
+        """Miss ratio of a sharer holding ``share_bytes`` of capacity.
+
+        The solo miss ratio is defined *at full cache capacity*, so the
+        reference point is ``min(working_set, capacity)``: a streaming
+        task (working set beyond the cache) running alone still misses
+        at its solo ratio, and contention only ever inflates from
+        there.
+        """
+        reference = min(demand.working_set_bytes, float(self.geometry.size_bytes))
+        if reference <= 0 or share_bytes >= reference:
+            return demand.solo_miss_ratio
+        share_bytes = max(share_bytes, float(self.geometry.line_bytes))
+        inflated = demand.solo_miss_ratio * (reference / share_bytes) ** self.theta
+        return min(1.0, inflated)
+
+    @staticmethod
+    def _allocate(
+        active: list[CacheDemand],
+        insertion: dict[str, float],
+        total_insertion: float,
+        capacity: float,
+    ) -> dict[str, float]:
+        """Split capacity by insertion rate, capped at working sets."""
+        shares: dict[str, float] = {}
+        remaining = capacity
+        unassigned = list(active)
+        weight = total_insertion
+        # Tasks whose proportional share exceeds their working set are
+        # capped first; their surplus flows to the rest.
+        changed = True
+        while changed and unassigned and weight > 0:
+            changed = False
+            for demand in list(unassigned):
+                if weight <= 0:
+                    # Float cancellation can zero the weight mid-pass
+                    # when one sharer's insertion rate dwarfs the rest.
+                    break
+                proportional = remaining * insertion[demand.task_id] / weight
+                if proportional >= demand.working_set_bytes:
+                    shares[demand.task_id] = demand.working_set_bytes
+                    remaining -= demand.working_set_bytes
+                    weight -= insertion[demand.task_id]
+                    unassigned.remove(demand)
+                    changed = True
+        for demand in unassigned:
+            if weight > 0:
+                shares[demand.task_id] = remaining * insertion[demand.task_id] / weight
+            else:
+                # All weight was consumed by capped sharers (or rounded
+                # away): split the leftover capacity evenly.
+                shares[demand.task_id] = remaining / len(unassigned)
+        return shares
+
+
+# ----------------------------------------------------------------------
+# True set-associative simulator
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Access statistics of the set-associative simulator."""
+
+    accesses: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Number of hits observed so far."""
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access (0.0 when no accesses were made)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+@dataclass
+class _CacheLine:
+    tag: int
+    dirty: bool
+
+
+@dataclass
+class SetAssociativeCache:
+    """A set-associative, write-back, write-allocate LRU cache.
+
+    Used to validate the analytic sharing model and as a reusable
+    substrate.  Each set is an ordered list of lines, most recently
+    used last.
+
+    Attributes:
+        geometry: Cache geometry (size, line, associativity).
+    """
+
+    geometry: CacheGeometry
+    stats: CacheStats = field(default_factory=CacheStats)
+    _sets: list[list[_CacheLine]] = field(default_factory=list)
+    #: Per-owner statistics when streams are tagged with an owner id.
+    owner_stats: dict[str, CacheStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._sets = [[] for _ in range(self.geometry.num_sets)]
+
+    def access(self, address: int, write: bool = False, owner: str | None = None) -> bool:
+        """Access one byte address; returns True on hit.
+
+        Args:
+            address: Byte address of the access.
+            write: Whether the access is a store (marks the line dirty).
+            owner: Optional sharer id for per-owner statistics.
+        """
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        line_addr = address // self.geometry.line_bytes
+        set_index = line_addr % self.geometry.num_sets
+        tag = line_addr // self.geometry.num_sets
+        cache_set = self._sets[set_index]
+
+        self.stats.accesses += 1
+        per_owner = None
+        if owner is not None:
+            per_owner = self.owner_stats.setdefault(owner, CacheStats())
+            per_owner.accesses += 1
+
+        for position, line in enumerate(cache_set):
+            if line.tag == tag:
+                cache_set.append(cache_set.pop(position))
+                if write:
+                    line.dirty = True
+                return True
+
+        self.stats.misses += 1
+        if per_owner is not None:
+            per_owner.misses += 1
+        if len(cache_set) >= self.geometry.associativity:
+            victim = cache_set.pop(0)
+            self.stats.evictions += 1
+            if per_owner is not None:
+                per_owner.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                if per_owner is not None:
+                    per_owner.writebacks += 1
+        cache_set.append(_CacheLine(tag=tag, dirty=write))
+        return False
+
+    def flush(self) -> int:
+        """Empty the cache; returns the number of dirty lines written back."""
+        writebacks = 0
+        for cache_set in self._sets:
+            writebacks += sum(1 for line in cache_set if line.dirty)
+            cache_set.clear()
+        self.stats.writebacks += writebacks
+        return writebacks
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(cache_set) for cache_set in self._sets)

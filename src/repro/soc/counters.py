@@ -1,0 +1,150 @@
+"""perf-like hardware counter sampling.
+
+The paper profiles the phone with ``perf`` and feeds DORA three runtime
+signals every decision interval: per-core utilization, shared-L2 MPKI
+of the co-scheduled task, and the core temperature (Section III, Fig. 4).
+This module implements the accumulate-then-sample pattern: the engine
+adds raw event counts as it steps, and a governor drains a window into
+an immutable :class:`CounterSample`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CoreCounters:
+    """Raw event counts for one core over a sampling window."""
+
+    busy_s: float = 0.0
+    instructions: float = 0.0
+    l2_accesses: float = 0.0
+    l2_misses: float = 0.0
+
+    def merged(self, other: "CoreCounters") -> "CoreCounters":
+        """Element-wise sum of two windows."""
+        return CoreCounters(
+            busy_s=self.busy_s + other.busy_s,
+            instructions=self.instructions + other.instructions,
+            l2_accesses=self.l2_accesses + other.l2_accesses,
+            l2_misses=self.l2_misses + other.l2_misses,
+        )
+
+    def mpki(self) -> float:
+        """L2 misses per kilo-instruction in this window."""
+        if self.instructions <= 0:
+            return 0.0
+        return self.l2_misses / (self.instructions / 1000.0)
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One drained sampling window, as a governor sees it.
+
+    Attributes:
+        window_s: Length of the window in seconds.
+        per_core: Raw counts per core id.
+        freq_hz: Core frequency during (the end of) the window.
+        soc_temperature_c: Shared package temperature sensor.
+        core_temperatures_c: Per-core temperature sensors.
+    """
+
+    window_s: float
+    per_core: dict[int, CoreCounters]
+    freq_hz: float
+    soc_temperature_c: float
+    core_temperatures_c: dict[int, float]
+
+    def utilization(self, core: int) -> float:
+        """Busy fraction of one core over the window."""
+        if self.window_s <= 0:
+            return 0.0
+        counters = self.per_core.get(core)
+        if counters is None:
+            return 0.0
+        return min(1.0, counters.busy_s / self.window_s)
+
+    def max_utilization(self) -> float:
+        """Busy fraction of the busiest core (what interactive tracks)."""
+        if not self.per_core:
+            return 0.0
+        return max(self.utilization(core) for core in self.per_core)
+
+    def mpki(self, core: int) -> float:
+        """L2 MPKI of one core over the window."""
+        counters = self.per_core.get(core)
+        if counters is None:
+            return 0.0
+        return counters.mpki()
+
+    def mpki_of_cores(self, cores: list[int]) -> float:
+        """Aggregate L2 MPKI over a set of cores (e.g. the co-runner's)."""
+        instructions = 0.0
+        misses = 0.0
+        for core in cores:
+            counters = self.per_core.get(core)
+            if counters is None:
+                continue
+            instructions += counters.instructions
+            misses += counters.l2_misses
+        if instructions <= 0:
+            return 0.0
+        return misses / (instructions / 1000.0)
+
+    def utilization_of_cores(self, cores: list[int]) -> float:
+        """Mean busy fraction over a set of cores."""
+        if not cores:
+            return 0.0
+        return sum(self.utilization(core) for core in cores) / len(cores)
+
+
+@dataclass
+class CounterBank:
+    """Accumulates raw events between governor samples."""
+
+    _windows: dict[int, CoreCounters] = field(default_factory=dict)
+    _elapsed_s: float = 0.0
+
+    def add(
+        self,
+        core: int,
+        busy_s: float,
+        instructions: float,
+        l2_accesses: float,
+        l2_misses: float,
+    ) -> None:
+        """Accumulate one engine step's events for a core."""
+        current = self._windows.get(core, CoreCounters())
+        self._windows[core] = current.merged(
+            CoreCounters(
+                busy_s=busy_s,
+                instructions=instructions,
+                l2_accesses=l2_accesses,
+                l2_misses=l2_misses,
+            )
+        )
+
+    def advance(self, dt_s: float) -> None:
+        """Advance the window clock."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        self._elapsed_s += dt_s
+
+    def drain(
+        self,
+        freq_hz: float,
+        soc_temperature_c: float,
+        core_temperatures_c: dict[int, float],
+    ) -> CounterSample:
+        """Close the current window and return it as a sample."""
+        sample = CounterSample(
+            window_s=self._elapsed_s,
+            per_core=dict(self._windows),
+            freq_hz=freq_hz,
+            soc_temperature_c=soc_temperature_c,
+            core_temperatures_c=dict(core_temperatures_c),
+        )
+        self._windows = {}
+        self._elapsed_s = 0.0
+        return sample

@@ -1,0 +1,80 @@
+"""LPDDR3 main-memory bandwidth and contention model.
+
+An L2 miss travels over the memory bus to DRAM.  Its latency has an
+unloaded component (bank access plus a fixed number of bus cycles, both
+described by :class:`repro.soc.specs.MemorySpec`) and a *queueing*
+component that grows with bus utilization.  When a memory-intensive
+co-runner saturates the bus, the browser's misses queue behind it --
+the second mechanism (after cache-capacity theft) by which interference
+slows the page load.
+
+The queueing delay uses the standard M/D/1-flavoured inflation
+``latency = unloaded * (1 + q * rho / (1 - rho))`` with utilization
+``rho`` capped below 1.  This keeps the engine's per-step cost O(tasks)
+while reproducing the sharp latency knee near saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.specs import MemorySpec
+
+#: A cache line transfer (the unit of DRAM traffic).
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class MemoryContentionModel:
+    """Bandwidth-contention model over an LPDDR3 memory system.
+
+    Attributes:
+        spec: Static memory description (latency/bandwidth vs bus
+            frequency).
+        queueing_weight: Strength of the queueing-delay term
+            (``q`` above).
+        max_utilization: Cap applied to the computed utilization so the
+            latency stays finite at saturation.
+    """
+
+    spec: MemorySpec
+    queueing_weight: float = 0.8
+    max_utilization: float = 0.95
+
+    def utilization(self, total_misses_per_s: float, bus_freq_hz: float) -> float:
+        """Fraction of the peak DRAM bandwidth consumed.
+
+        Args:
+            total_misses_per_s: Aggregate L2 miss rate across all cores.
+            bus_freq_hz: Current memory-bus frequency.
+        """
+        if total_misses_per_s < 0:
+            raise ValueError("miss rate must be non-negative")
+        demand = total_misses_per_s * LINE_BYTES
+        peak = self.spec.peak_bandwidth_bytes_s(bus_freq_hz)
+        return min(self.max_utilization, demand / peak)
+
+    def effective_latency_s(
+        self, total_misses_per_s: float, bus_freq_hz: float
+    ) -> float:
+        """Average DRAM access latency under the current load.
+
+        Returns the unloaded latency inflated by the queueing factor.
+        """
+        rho = self.utilization(total_misses_per_s, bus_freq_hz)
+        unloaded = self.spec.access_latency_s(bus_freq_hz)
+        return unloaded * (1.0 + self.queueing_weight * rho / (1.0 - rho))
+
+    def miss_penalty_cycles(
+        self, total_misses_per_s: float, bus_freq_hz: float, core_freq_hz: float
+    ) -> float:
+        """Core cycles lost per L2 miss at the current operating point.
+
+        The same wall-clock DRAM latency costs more *cycles* at a higher
+        core frequency, which is why memory-bound phases speed up
+        sub-linearly with frequency -- the effect that pushes ``fE``
+        down for memory-intensive workloads.
+        """
+        if core_freq_hz <= 0:
+            raise ValueError("core frequency must be positive")
+        return self.effective_latency_s(total_misses_per_s, bus_freq_hz) * core_freq_hz

@@ -1,0 +1,152 @@
+"""Ground-truth power physics of the simulated smartphone.
+
+The paper's energy-efficiency metric is whole-device performance per
+watt, measured with a DAQ on the phone's battery rails (Section IV-A).
+We therefore model the whole device:
+
+* **Core dynamic power** -- the classic CMOS switching term
+  ``C_eff * u * V^2 * f`` per core, where ``u`` is the busy fraction of
+  the core during the accounting window and ``C_eff`` the effective
+  switched capacitance of the running task (memory-bound code switches
+  less logic per cycle than compute-bound code).
+* **Memory-system power** -- energy per L2 miss serviced by DRAM (data
+  movement is expensive on LPDDR3; the paper attributes part of the
+  co-run energy overhead E-delta to extra data movement caused by early
+  evictions) plus a bus-frequency-dependent static term for the memory
+  controller and PHY.
+* **Leakage** -- the Liao et al. model from :mod:`repro.soc.leakage`,
+  a function of voltage and junction temperature.
+* **Rest-of-device floor** -- display, SSD/flash, radios and PMIC
+  overhead.  This constant floor is what creates an *interior*
+  energy-optimal frequency ``fE``: finishing a page faster saves floor
+  energy, but raising frequency pays the super-linear ``V^2 f`` price.
+
+The breakdown is returned as a :class:`PowerBreakdown` so traces and
+tests can inspect individual components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.leakage import LeakageParameters, nexus5_leakage_parameters
+from repro.soc.specs import DvfsState
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Instantaneous device power decomposed by source (watts)."""
+
+    core_dynamic_w: float
+    memory_w: float
+    leakage_w: float
+    rest_of_device_w: float
+
+    @property
+    def soc_w(self) -> float:
+        """Power dissipated in the SoC package (feeds the thermal model)."""
+        return self.core_dynamic_w + self.memory_w + self.leakage_w
+
+    @property
+    def total_w(self) -> float:
+        """Whole-device power (what the DAQ would measure)."""
+        return self.soc_w + self.rest_of_device_w
+
+
+@dataclass(frozen=True)
+class CoreActivity:
+    """Activity of one core during an accounting window.
+
+    Attributes:
+        utilization: Busy fraction of the window, in [0, 1].
+        effective_capacitance_f: Switched capacitance of the task
+            occupying the core, in farads.
+    """
+
+    utilization: float
+    effective_capacitance_f: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.utilization <= 1.0:
+            raise ValueError("utilization must lie in [0, 1]")
+        if self.effective_capacitance_f < 0:
+            raise ValueError("effective capacitance must be non-negative")
+
+
+#: Default effective switched capacitance of a busy Krait core (farads).
+#: 0.45 nF at 1.1 V / 2.2656 GHz yields ~1.23 W for a fully-busy core,
+#: in line with published Snapdragon 800 per-core power at fmax.
+DEFAULT_CORE_CAPACITANCE_F = 0.45e-9
+
+
+@dataclass(frozen=True)
+class DevicePowerModel:
+    """Whole-device power model (the simulated ground truth).
+
+    Attributes:
+        leakage: Leakage parameters (Equation 5).
+        energy_per_miss_j: DRAM energy per 64-byte L2 miss serviced.
+        bus_static_w_per_hz: Memory controller/PHY static power per Hz
+            of bus frequency.
+        idle_core_w: Residual power of an online-but-idle core (clock
+            tree, WFI state) at nominal voltage, scaled by V^2.
+        rest_of_device_w: Display + storage + radio + PMIC floor.
+    """
+
+    leakage: LeakageParameters
+    energy_per_miss_j: float = 15e-9
+    bus_static_w_per_hz: float = 2.5e-10
+    idle_core_w: float = 0.03
+    rest_of_device_w: float = 0.90
+
+    def breakdown(
+        self,
+        state: DvfsState,
+        core_activity: dict[int, CoreActivity],
+        l2_misses_per_s: float,
+        temperature_c: float,
+    ) -> PowerBreakdown:
+        """Compute the device power at an operating point.
+
+        Args:
+            state: Current DVFS operating point (all online cores share
+                one frequency/voltage plane in this model, as the
+                paper's governor sets a single cluster frequency).
+            core_activity: Activity of each *online* core, keyed by core
+                id.  Offline cores are simply absent (the paper switches
+                the fourth core off).
+            l2_misses_per_s: Aggregate L2 miss rate feeding DRAM.
+            temperature_c: Junction temperature for the leakage term.
+
+        Returns:
+            The decomposed instantaneous power.
+        """
+        if l2_misses_per_s < 0:
+            raise ValueError("miss rate must be non-negative")
+        v_squared = state.voltage_v**2
+        dynamic = 0.0
+        for activity in core_activity.values():
+            switching = (
+                activity.effective_capacitance_f
+                * activity.utilization
+                * v_squared
+                * state.freq_hz
+            )
+            idle = self.idle_core_w * v_squared * (1.0 - activity.utilization)
+            dynamic += switching + idle
+        memory = (
+            self.energy_per_miss_j * l2_misses_per_s
+            + self.bus_static_w_per_hz * state.bus_freq_hz
+        )
+        leakage = self.leakage.power_w(state.voltage_v, temperature_c)
+        return PowerBreakdown(
+            core_dynamic_w=dynamic,
+            memory_w=memory,
+            leakage_w=leakage,
+            rest_of_device_w=self.rest_of_device_w,
+        )
+
+
+def nexus5_power_model() -> DevicePowerModel:
+    """Power model calibrated for the simulated Nexus 5."""
+    return DevicePowerModel(leakage=nexus5_leakage_parameters())

@@ -1,0 +1,359 @@
+"""Static platform description (Table II of the paper).
+
+The paper evaluates DORA on a Google Nexus 5 with a Qualcomm MSM8974
+Snapdragon 800 chipset: four Krait cores with private 16 KB L1
+instruction/data caches, a shared 2 MB L2 cache, 2 GB of LPDDR3, and 14
+DVFS states between 300 MHz and 2265.6 MHz.  This module captures that
+description as plain dataclasses so every other component (the engine,
+the power model, the governors) reads geometry and operating points from
+one place.
+
+Two platform facts drive the modelling in the rest of the package:
+
+* Each core frequency maps onto one of a small number of memory-bus
+  frequencies.  The paper exploits this to build *piecewise* load-time
+  models, one per bus frequency (Section III-A).
+* Voltage rises with frequency, which makes dynamic power super-linear
+  in frequency (``P ~ C * V^2 * f``) and couples leakage (a function of
+  voltage and temperature) to the DVFS decision.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DvfsState:
+    """One operating point of the application processor.
+
+    Attributes:
+        freq_hz: Core clock frequency in Hz.
+        voltage_v: Supply voltage at this frequency in volts.
+        bus_freq_hz: Memory-bus frequency the SoC pairs with this core
+            frequency, in Hz.
+    """
+
+    freq_hz: float
+    voltage_v: float
+    bus_freq_hz: float
+
+    @property
+    def freq_ghz(self) -> float:
+        """Core frequency in GHz (convenience for reporting)."""
+        return self.freq_hz / 1e9
+
+    @property
+    def freq_mhz(self) -> float:
+        """Core frequency in MHz (convenience for reporting)."""
+        return self.freq_hz / 1e6
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.freq_mhz:.1f} MHz @ {self.voltage_v:.3f} V"
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a cache level."""
+
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache size and line size must be positive")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                "cache size must be a multiple of line_bytes * associativity"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """LPDDR3 main-memory description.
+
+    Attributes:
+        size_bytes: Capacity (2 GB on the Nexus 5).
+        base_latency_s: Unloaded DRAM access latency component that does
+            not depend on the bus frequency (bank access, controller).
+        bus_cycles_per_access: Latency component paid in bus cycles
+            (command/data transfer); dividing by the bus frequency gives
+            the frequency-dependent part of the access latency.
+        bytes_per_bus_cycle: Peak transfer width; multiplied by the bus
+            frequency this gives the peak bandwidth at an operating
+            point.
+    """
+
+    size_bytes: int
+    base_latency_s: float
+    bus_cycles_per_access: float
+    bytes_per_bus_cycle: float
+
+    def access_latency_s(self, bus_freq_hz: float) -> float:
+        """Unloaded access latency at a given bus frequency."""
+        if bus_freq_hz <= 0:
+            raise ValueError("bus frequency must be positive")
+        return self.base_latency_s + self.bus_cycles_per_access / bus_freq_hz
+
+    def peak_bandwidth_bytes_s(self, bus_freq_hz: float) -> float:
+        """Peak DRAM bandwidth at a given bus frequency."""
+        if bus_freq_hz <= 0:
+            raise ValueError("bus frequency must be positive")
+        return self.bytes_per_bus_cycle * bus_freq_hz
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Complete static description of the simulated smartphone SoC.
+
+    The default instance (:func:`nexus5_spec`) mirrors Table II of the
+    paper.  All structural queries used elsewhere in the package
+    (nearest DVFS state, bus frequency of a core frequency, evaluation
+    frequency subset) live here.
+    """
+
+    name: str
+    num_cores: int
+    dvfs_table: tuple[DvfsState, ...]
+    l1_geometry: CacheGeometry
+    l2_geometry: CacheGeometry
+    memory: MemorySpec
+    #: Subset of DVFS states the paper's figures sweep (0.7 - 2.2 GHz).
+    evaluation_freqs_hz: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if not self.dvfs_table:
+            raise ValueError("DVFS table must not be empty")
+        freqs = [state.freq_hz for state in self.dvfs_table]
+        if freqs != sorted(freqs):
+            raise ValueError("DVFS table must be sorted by frequency")
+        if len(set(freqs)) != len(freqs):
+            raise ValueError("DVFS table must not contain duplicate frequencies")
+        for freq in self.evaluation_freqs_hz:
+            if freq not in set(freqs):
+                raise ValueError(
+                    f"evaluation frequency {freq} is not a DVFS table entry"
+                )
+
+    # ------------------------------------------------------------------
+    # Operating-point queries
+    # ------------------------------------------------------------------
+    @property
+    def frequencies_hz(self) -> tuple[float, ...]:
+        """All available core frequencies, ascending."""
+        return tuple(state.freq_hz for state in self.dvfs_table)
+
+    @property
+    def min_state(self) -> DvfsState:
+        """Lowest-frequency operating point."""
+        return self.dvfs_table[0]
+
+    @property
+    def max_state(self) -> DvfsState:
+        """Highest-frequency operating point."""
+        return self.dvfs_table[-1]
+
+    def state_for(self, freq_hz: float) -> DvfsState:
+        """Return the DVFS state with exactly the given frequency.
+
+        Raises:
+            KeyError: If ``freq_hz`` is not in the DVFS table.
+        """
+        for state in self.dvfs_table:
+            if state.freq_hz == freq_hz:
+                return state
+        raise KeyError(f"{freq_hz} Hz is not an operating point of {self.name}")
+
+    def nearest_state(self, freq_hz: float) -> DvfsState:
+        """Return the operating point closest to an arbitrary frequency."""
+        return min(self.dvfs_table, key=lambda s: abs(s.freq_hz - freq_hz))
+
+    def ceil_state(self, freq_hz: float) -> DvfsState:
+        """Return the lowest operating point with frequency >= ``freq_hz``.
+
+        This mirrors how the Android ``interactive`` governor rounds a
+        target frequency up to an available one.  Requests above the
+        maximum frequency saturate at the maximum state.
+        """
+        freqs = self.frequencies_hz
+        index = bisect.bisect_left(freqs, freq_hz)
+        if index >= len(freqs):
+            return self.dvfs_table[-1]
+        return self.dvfs_table[index]
+
+    def state_index(self, freq_hz: float) -> int:
+        """Index of an exact operating point in the DVFS table."""
+        for index, state in enumerate(self.dvfs_table):
+            if state.freq_hz == freq_hz:
+                return index
+        raise KeyError(f"{freq_hz} Hz is not an operating point of {self.name}")
+
+    def neighbour_states(self, freq_hz: float) -> tuple[DvfsState | None, DvfsState | None]:
+        """The operating points one step below and above ``freq_hz``.
+
+        Used by the Fig. 6 sensitivity analysis (``fopt - 1`` and
+        ``fopt + 1``).  ``None`` marks the edge of the table.
+        """
+        index = self.state_index(freq_hz)
+        below = self.dvfs_table[index - 1] if index > 0 else None
+        above = self.dvfs_table[index + 1] if index + 1 < len(self.dvfs_table) else None
+        return below, above
+
+    # ------------------------------------------------------------------
+    # Bus-frequency structure (drives the piecewise models)
+    # ------------------------------------------------------------------
+    def bus_freq_for(self, freq_hz: float) -> float:
+        """Memory-bus frequency paired with a core frequency."""
+        return self.state_for(freq_hz).bus_freq_hz
+
+    def bus_frequency_groups(self) -> dict[float, tuple[DvfsState, ...]]:
+        """Group the DVFS table by shared memory-bus frequency.
+
+        Returns a mapping from bus frequency to the tuple of operating
+        points that use it.  The paper builds one load-time model per
+        group (Section III-A).
+        """
+        groups: dict[float, list[DvfsState]] = {}
+        for state in self.dvfs_table:
+            groups.setdefault(state.bus_freq_hz, []).append(state)
+        return {bus: tuple(states) for bus, states in groups.items()}
+
+    def evaluation_states(self) -> tuple[DvfsState, ...]:
+        """The operating points swept by the paper's figures."""
+        if self.evaluation_freqs_hz:
+            return tuple(self.state_for(f) for f in self.evaluation_freqs_hz)
+        return self.dvfs_table
+
+
+def _mhz(value: float) -> float:
+    return value * 1e6
+
+
+#: MSM8974 core frequencies (kHz table from the msm8974 cpufreq driver),
+#: paired with approximate PVS-nominal voltages and the memory-bus
+#: frequency band each maps to.
+_NEXUS5_OPERATING_POINTS: tuple[tuple[float, float, float], ...] = (
+    # (core MHz, voltage V, bus MHz)
+    (300.0, 0.8000, 200.0),
+    (422.4, 0.8125, 200.0),
+    (652.8, 0.8375, 200.0),
+    (729.6, 0.8500, 200.0),
+    (883.2, 0.8750, 400.0),
+    (960.0, 0.8875, 400.0),
+    (1036.8, 0.9000, 400.0),
+    (1190.4, 0.9250, 400.0),
+    (1267.2, 0.9375, 400.0),
+    (1497.6, 0.9750, 533.0),
+    (1574.4, 0.9875, 533.0),
+    (1728.0, 1.0125, 533.0),
+    (1958.4, 1.0750, 800.0),
+    (2265.6, 1.1500, 800.0),
+)
+
+#: The eight frequencies the paper's figures sweep, labelled 0.7, 0.8,
+#: 0.9, 1.1/1.2, 1.5, 1.7, 1.9 and 2.2 GHz in the text.
+_NEXUS5_EVALUATION_MHZ: tuple[float, ...] = (
+    729.6,
+    883.2,
+    960.0,
+    1190.4,
+    1497.6,
+    1728.0,
+    1958.4,
+    2265.6,
+)
+
+
+def nexus5_spec() -> PlatformSpec:
+    """Build the Google Nexus 5 (MSM8974) platform description.
+
+    Mirrors Table II of the paper: quad-core Krait, private 16 KB L1
+    caches, shared 2 MB L2, 2 GB LPDDR3, and 14 DVFS states from
+    300 MHz to 2265.6 MHz.
+    """
+    table = tuple(
+        DvfsState(freq_hz=_mhz(core), voltage_v=volt, bus_freq_hz=_mhz(bus))
+        for core, volt, bus in _NEXUS5_OPERATING_POINTS
+    )
+    return PlatformSpec(
+        name="google-nexus5-msm8974",
+        num_cores=4,
+        dvfs_table=table,
+        l1_geometry=CacheGeometry(size_bytes=16 * 1024, line_bytes=64, associativity=4),
+        l2_geometry=CacheGeometry(
+            size_bytes=2 * 1024 * 1024, line_bytes=64, associativity=8
+        ),
+        memory=MemorySpec(
+            size_bytes=2 * 1024 * 1024 * 1024,
+            base_latency_s=55e-9,
+            bus_cycles_per_access=24.0,
+            bytes_per_bus_cycle=12.0,
+        ),
+        evaluation_freqs_hz=tuple(_mhz(f) for f in _NEXUS5_EVALUATION_MHZ),
+    )
+
+
+#: A hypothetical later-generation SoC used to exercise the paper's
+#: portability claim ("applicable to other smartphone platforms with
+#: re-parametrization"): six cores, a 10-state ladder reaching 2.6 GHz,
+#: and a different core-to-bus mapping with three bands.
+_HEXCORE_OPERATING_POINTS: tuple[tuple[float, float, float], ...] = (
+    (400.0, 0.7800, 300.0),
+    (600.0, 0.8000, 300.0),
+    (800.0, 0.8250, 300.0),
+    (1000.0, 0.8550, 600.0),
+    (1250.0, 0.8900, 600.0),
+    (1500.0, 0.9300, 600.0),
+    (1800.0, 0.9800, 933.0),
+    (2100.0, 1.0400, 933.0),
+    (2350.0, 1.0950, 933.0),
+    (2600.0, 1.1600, 933.0),
+)
+
+
+def generic_hexcore_spec() -> PlatformSpec:
+    """A six-core re-parametrization target (not a real product).
+
+    Used by the portability experiments: everything above the
+    :class:`PlatformSpec` interface -- the engine, the training
+    campaign, the governors -- must work unchanged against this
+    description.
+    """
+    table = tuple(
+        DvfsState(freq_hz=_mhz(core), voltage_v=volt, bus_freq_hz=_mhz(bus))
+        for core, volt, bus in _HEXCORE_OPERATING_POINTS
+    )
+    return PlatformSpec(
+        name="generic-hexcore",
+        num_cores=6,
+        dvfs_table=table,
+        l1_geometry=CacheGeometry(size_bytes=32 * 1024, line_bytes=64, associativity=4),
+        l2_geometry=CacheGeometry(
+            size_bytes=3 * 1024 * 1024, line_bytes=64, associativity=12
+        ),
+        memory=MemorySpec(
+            size_bytes=4 * 1024 * 1024 * 1024,
+            base_latency_s=50e-9,
+            bus_cycles_per_access=24.0,
+            bytes_per_bus_cycle=12.0,
+        ),
+        evaluation_freqs_hz=tuple(
+            _mhz(f) for f in (600.0, 1000.0, 1250.0, 1500.0, 1800.0, 2100.0, 2600.0)
+        ),
+    )

@@ -1,0 +1,28 @@
+"""Co-run application substrate (the interference sources).
+
+The paper co-schedules the browser with nine kernels drawn from the
+Rodinia suite, cross-compiled for ARM and pinned to the third core
+(Table III).  Their algorithms -- image processing, clustering, graph
+traversal, dynamic programming -- are the building blocks of
+background smartphone work.  We model each as a looping phased task
+with the kernel's architectural signature (L2 access rate, miss ratio,
+working set), calibrated so their *measured* solo L2 MPKI lands in the
+paper's bins: low (< 1), medium (1-7), high (> 7).
+"""
+
+from repro.workloads.kernels import (
+    KernelSpec,
+    all_kernels,
+    kernel_by_name,
+    kernel_task,
+)
+from repro.workloads.classification import MemoryIntensity, classify_mpki
+
+__all__ = [
+    "KernelSpec",
+    "all_kernels",
+    "kernel_by_name",
+    "kernel_task",
+    "MemoryIntensity",
+    "classify_mpki",
+]

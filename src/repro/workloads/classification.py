@@ -1,0 +1,61 @@
+"""Memory-intensity classification (Table III).
+
+The paper bins co-run applications by their solo L2 MPKI:
+
+* low: MPKI < 1
+* medium: 1 <= MPKI <= 7
+* high: MPKI > 7
+
+and bins web pages by their solo load time at the maximum frequency
+(< 2 s vs > 2 s).  Both bin edges live here so the suite construction
+and the Table III reproduction use one definition.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+#: MPKI bin edges for co-run applications.
+LOW_MPKI_LIMIT = 1.0
+HIGH_MPKI_LIMIT = 7.0
+
+#: Load-time bin edge for web pages (seconds, solo at fmax).
+PAGE_LOAD_TIME_SPLIT_S = 2.0
+
+
+class MemoryIntensity(Enum):
+    """Table III memory-intensity class of a co-run application."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+def classify_mpki(mpki: float) -> MemoryIntensity:
+    """Bin a solo L2 MPKI per Table III.
+
+    Args:
+        mpki: Misses per kilo-instruction measured with the kernel
+            running alone.
+
+    Raises:
+        ValueError: If the MPKI is negative.
+    """
+    if mpki < 0:
+        raise ValueError("MPKI must be non-negative")
+    if mpki < LOW_MPKI_LIMIT:
+        return MemoryIntensity.LOW
+    if mpki <= HIGH_MPKI_LIMIT:
+        return MemoryIntensity.MEDIUM
+    return MemoryIntensity.HIGH
+
+
+def classify_page_load_time(load_time_s: float) -> str:
+    """Bin a page's solo load time at fmax per Table III.
+
+    Returns ``"low"`` for pages loading in under
+    :data:`PAGE_LOAD_TIME_SPLIT_S` seconds, else ``"high"``.
+    """
+    if load_time_s < 0:
+        raise ValueError("load time must be non-negative")
+    return "low" if load_time_s < PAGE_LOAD_TIME_SPLIT_S else "high"

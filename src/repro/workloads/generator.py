@@ -1,0 +1,63 @@
+"""Parameterized synthetic co-runner factory.
+
+Beyond the nine named kernels, experiments such as Fig. 1 (load time
+under a *range* of interference) and the property-based tests want
+co-runners at arbitrary points of the memory-intensity spectrum.  This
+factory produces a kernel spec from a single ``intensity`` knob in
+[0, 1], interpolating access rate, miss ratio and working set between
+a cache-friendly and a streaming extreme.
+"""
+
+from __future__ import annotations
+
+from repro.sim.task import Task
+from repro.workloads.classification import MemoryIntensity, classify_mpki
+from repro.workloads.kernels import MIB, KernelSpec, kernel_task
+
+
+def _lerp(low: float, high: float, t: float) -> float:
+    return low + (high - low) * t
+
+
+def synthetic_kernel(intensity: float, name: str | None = None) -> KernelSpec:
+    """Build a kernel spec at a point on the intensity spectrum.
+
+    Args:
+        intensity: Memory intensity in [0, 1].  0 approximates the
+            mildest Table III kernel (srad-like), 1 the most aggressive
+            (needleman-wunsch-like).
+        name: Optional name; defaults to ``synthetic-<intensity>``.
+
+    Returns:
+        A kernel spec whose nominal solo MPKI grows monotonically with
+        ``intensity`` from ~0.3 to ~12.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must lie in [0, 1]")
+    l2_apki = _lerp(6.0, 80.0, intensity)
+    solo_miss_ratio = _lerp(0.05, 0.15, intensity)
+    spec = KernelSpec(
+        name=name or f"synthetic-{intensity:.2f}",
+        expected_intensity=classify_mpki(l2_apki * solo_miss_ratio),
+        cpi_base=_lerp(0.9, 1.2, intensity),
+        l2_apki=l2_apki,
+        solo_miss_ratio=solo_miss_ratio,
+        working_set_bytes=_lerp(0.6, 24.0, intensity) * MIB,
+        mlp=_lerp(1.4, 2.2, intensity),
+        capacitance_f=_lerp(0.50e-9, 0.42e-9, intensity),
+    )
+    return spec
+
+
+def synthetic_task(intensity: float, core: int = 2) -> Task:
+    """Looping task for a synthetic kernel at the given intensity."""
+    return kernel_task(synthetic_kernel(intensity), core=core)
+
+
+def intensity_for(target: MemoryIntensity) -> float:
+    """A representative intensity knob for each Table III bin."""
+    return {
+        MemoryIntensity.LOW: 0.05,
+        MemoryIntensity.MEDIUM: 0.45,
+        MemoryIntensity.HIGH: 0.95,
+    }[target]

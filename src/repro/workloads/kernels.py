@@ -1,0 +1,142 @@
+"""The nine Rodinia-like co-run kernels (Table III).
+
+Each kernel is modelled as a looping two-phase task: a dominant
+*compute/stream* phase carrying the kernel's signature memory
+behaviour, and a short *setup/reduction* phase that gives the kernel a
+mild phase structure (real kernels alternate between sweeps and
+bookkeeping).  The signatures are calibrated so the solo L2 MPKI of
+each kernel falls in its Table III bin:
+
+====================  ========  ==========================
+kernel                bin       paper description
+====================  ========  ==========================
+srad                  low       image processing (speckle-reducing
+                                anisotropic diffusion)
+heartwall             low       image processing (heart-wall tracking)
+kmeans                low       clustering analysis
+hotspot               low       temperature management
+srad2                 medium    image processing (2nd SRAD variant)
+bfs                   medium    graph traversal
+b+tree                medium    tree traversal
+backprop              high      sensor data analysis (neural net)
+needleman-wunsch      high      bioinformatics (sequence alignment)
+====================  ========  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.sim.task import Task, WorkPhase
+from repro.workloads.classification import MemoryIntensity
+
+MIB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Architectural signature of one co-run kernel.
+
+    Attributes:
+        name: Kernel name.
+        expected_intensity: The Table III bin the kernel belongs to
+            (verified against measurement by the classification bench).
+        cpi_base: Core-private CPI of the main phase.
+        l2_apki: L2 accesses per kilo-instruction, main phase.
+        solo_miss_ratio: L2 miss ratio with the cache to itself.
+        working_set_bytes: Cache footprint of the main phase.
+        mlp: Memory-level parallelism of the main phase.
+        capacitance_f: Effective switched capacitance.
+        loop_instructions: Instructions per pass of the main phase.
+    """
+
+    name: str
+    expected_intensity: MemoryIntensity
+    cpi_base: float
+    l2_apki: float
+    solo_miss_ratio: float
+    working_set_bytes: float
+    mlp: float
+    capacitance_f: float
+    loop_instructions: float = 40e6
+
+    @property
+    def solo_mpki(self) -> float:
+        """Nominal solo MPKI (APKI x solo miss ratio) of the main phase."""
+        return self.l2_apki * self.solo_miss_ratio
+
+
+_KERNELS: tuple[KernelSpec, ...] = (
+    # Low intensity: cache-resident image/clustering kernels.
+    KernelSpec("srad", MemoryIntensity.LOW, 1.0, 8.0, 0.05, 0.7 * MIB, 1.5, 0.48e-9),
+    KernelSpec("heartwall", MemoryIntensity.LOW, 1.1, 10.0, 0.05, 0.9 * MIB, 1.5, 0.48e-9),
+    KernelSpec("kmeans", MemoryIntensity.LOW, 0.9, 14.0, 0.05, 1.1 * MIB, 1.6, 0.50e-9),
+    KernelSpec("hotspot", MemoryIntensity.LOW, 1.0, 16.0, 0.05, 1.2 * MIB, 1.6, 0.50e-9),
+    # Medium intensity: larger sweeps and pointer chasing.
+    KernelSpec("srad2", MemoryIntensity.MEDIUM, 1.0, 25.0, 0.10, 3.0 * MIB, 1.8, 0.45e-9),
+    KernelSpec("bfs", MemoryIntensity.MEDIUM, 1.4, 40.0, 0.10, 6.0 * MIB, 1.3, 0.40e-9),
+    KernelSpec("b+tree", MemoryIntensity.MEDIUM, 1.3, 50.0, 0.12, 8.0 * MIB, 1.2, 0.40e-9),
+    # High intensity: streaming over DRAM-sized data.
+    KernelSpec("backprop", MemoryIntensity.HIGH, 1.1, 60.0, 0.15, 16.0 * MIB, 2.0, 0.42e-9),
+    KernelSpec(
+        "needleman-wunsch", MemoryIntensity.HIGH, 1.2, 80.0, 0.15, 24.0 * MIB, 2.2, 0.42e-9
+    ),
+)
+
+
+def all_kernels() -> tuple[KernelSpec, ...]:
+    """All nine kernel specs, low-intensity first."""
+    return _KERNELS
+
+
+@lru_cache(maxsize=None)
+def kernel_by_name(name: str) -> KernelSpec:
+    """Look up a kernel spec by name.
+
+    Raises:
+        KeyError: If the name is unknown.
+    """
+    for spec in _KERNELS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown kernel: {name!r}")
+
+
+def kernels_by_intensity(intensity: MemoryIntensity) -> tuple[KernelSpec, ...]:
+    """All kernels expected in a given Table III bin."""
+    return tuple(k for k in _KERNELS if k.expected_intensity is intensity)
+
+
+def kernel_task(spec: KernelSpec, core: int = 2) -> Task:
+    """Build the looping engine task for a kernel.
+
+    The kernel is statically pinned to ``core`` (the paper pins the
+    co-run application to the third core and powers the fourth off).
+    """
+    main = WorkPhase(
+        name=f"{spec.name}:sweep",
+        instructions=spec.loop_instructions,
+        cpi_base=spec.cpi_base,
+        l2_apki=spec.l2_apki,
+        solo_miss_ratio=spec.solo_miss_ratio,
+        working_set_bytes=spec.working_set_bytes,
+        mlp=spec.mlp,
+        capacitance_f=spec.capacitance_f,
+    )
+    bookkeeping = WorkPhase(
+        name=f"{spec.name}:reduce",
+        instructions=spec.loop_instructions * 0.1,
+        cpi_base=max(0.8, spec.cpi_base * 0.9),
+        l2_apki=spec.l2_apki * 0.3,
+        solo_miss_ratio=spec.solo_miss_ratio * 0.5,
+        working_set_bytes=spec.working_set_bytes * 0.2,
+        mlp=spec.mlp,
+        capacitance_f=spec.capacitance_f,
+    )
+    return Task(
+        task_id=f"kernel:{spec.name}",
+        core=core,
+        phases=(main, bookkeeping),
+        looping=True,
+    )

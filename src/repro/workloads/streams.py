@@ -1,0 +1,236 @@
+"""Synthetic address-stream generators.
+
+The discrete-time engine uses the *analytic* shared-cache model for
+speed; this module provides the machinery to validate that model
+against the true set-associative simulator
+(:class:`repro.soc.cache.SetAssociativeCache`): deterministic address
+streams with the access patterns the kernels and browser phases are
+modelled after.
+
+* :class:`SequentialStream` -- streaming sweeps over a buffer (srad,
+  backprop, needleman-wunsch style).
+* :class:`StridedStream` -- fixed-stride sweeps (row/column walks,
+  hotspot style).
+* :class:`RandomStream` -- uniform references within a working set
+  (hash tables, kmeans centroid lookups).
+* :class:`PointerChaseStream` -- a random cyclic permutation walk
+  (bfs / b+tree style dependent loads).
+
+Each stream yields byte addresses inside a private address-space
+region, so multiple streams can share one cache without aliasing, and
+:func:`measure_miss_ratio` / :func:`measure_shared_miss_ratios` run
+them (alone or interleaved) against a simulated cache.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.soc.cache import SetAssociativeCache
+from repro.soc.specs import CacheGeometry
+
+#: Cache-line granularity of the generated addresses.
+LINE_BYTES = 64
+
+
+class AddressStream(abc.ABC):
+    """A deterministic, endlessly-replayable address stream."""
+
+    #: Base address of the stream's private region.
+    base: int
+    #: Size of the region the stream references.
+    working_set_bytes: int
+
+    @abc.abstractmethod
+    def addresses(self) -> Iterator[int]:
+        """Yield byte addresses, forever."""
+
+    def take(self, count: int) -> list[int]:
+        """The first ``count`` addresses."""
+        stream = self.addresses()
+        return [next(stream) for _ in range(count)]
+
+
+@dataclass
+class SequentialStream(AddressStream):
+    """Line-by-line sweeps over a buffer, wrapping at the end."""
+
+    working_set_bytes: int
+    base: int = 0
+
+    def __post_init__(self) -> None:
+        if self.working_set_bytes < LINE_BYTES:
+            raise ValueError("working set must hold at least one line")
+
+    def addresses(self) -> Iterator[int]:
+        lines = self.working_set_bytes // LINE_BYTES
+        while True:
+            for index in range(lines):
+                yield self.base + index * LINE_BYTES
+
+
+@dataclass
+class StridedStream(AddressStream):
+    """Fixed-stride walks over a buffer (stride in bytes)."""
+
+    working_set_bytes: int
+    stride_bytes: int = 4 * LINE_BYTES
+    base: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stride_bytes <= 0:
+            raise ValueError("stride must be positive")
+        if self.working_set_bytes < self.stride_bytes:
+            raise ValueError("working set must cover at least one stride")
+
+    def addresses(self) -> Iterator[int]:
+        while True:
+            offset = 0
+            # Walk each stride-phase so every line is eventually touched.
+            for phase in range(0, self.stride_bytes, LINE_BYTES):
+                offset = phase
+                while offset < self.working_set_bytes:
+                    yield self.base + offset
+                    offset += self.stride_bytes
+
+
+@dataclass
+class RandomStream(AddressStream):
+    """Uniform random line references within the working set."""
+
+    working_set_bytes: int
+    seed: int = 0
+    base: int = 0
+
+    def __post_init__(self) -> None:
+        if self.working_set_bytes < LINE_BYTES:
+            raise ValueError("working set must hold at least one line")
+
+    def addresses(self) -> Iterator[int]:
+        rng = random.Random(self.seed)
+        lines = self.working_set_bytes // LINE_BYTES
+        while True:
+            yield self.base + rng.randrange(lines) * LINE_BYTES
+
+
+@dataclass
+class PointerChaseStream(AddressStream):
+    """A walk over a random cyclic permutation of the lines.
+
+    Models dependent loads (linked structures): every line is visited
+    exactly once per cycle, in an order with no spatial locality.
+    """
+
+    working_set_bytes: int
+    seed: int = 0
+    base: int = 0
+    _order: list[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.working_set_bytes < LINE_BYTES:
+            raise ValueError("working set must hold at least one line")
+        lines = self.working_set_bytes // LINE_BYTES
+        order = list(range(lines))
+        random.Random(self.seed).shuffle(order)
+        self._order = order
+
+    def addresses(self) -> Iterator[int]:
+        while True:
+            for line in self._order:
+                yield self.base + line * LINE_BYTES
+
+
+def measure_miss_ratio(
+    stream: AddressStream,
+    geometry: CacheGeometry,
+    accesses: int,
+    warmup: int | None = None,
+) -> float:
+    """Steady-state miss ratio of a stream running alone.
+
+    Args:
+        stream: The address stream.
+        geometry: Cache to simulate.
+        accesses: Measured accesses (after warm-up).
+        warmup: Accesses run before measurement starts; defaults to one
+            full pass over the working set (compulsory misses excluded,
+            matching the solo-miss-ratio semantics of the analytic
+            model).
+    """
+    if accesses <= 0:
+        raise ValueError("need a positive measurement window")
+    cache = SetAssociativeCache(geometry=geometry)
+    if warmup is None:
+        warmup = max(
+            geometry.num_lines, stream.working_set_bytes // LINE_BYTES
+        )
+    source = stream.addresses()
+    for _ in range(warmup):
+        cache.access(next(source))
+    cache.stats.accesses = 0
+    cache.stats.misses = 0
+    for _ in range(accesses):
+        cache.access(next(source))
+    return cache.stats.miss_ratio
+
+
+def measure_shared_miss_ratios(
+    streams: dict[str, tuple[AddressStream, int]],
+    geometry: CacheGeometry,
+    rounds: int,
+    warmup_rounds: int = 2,
+) -> dict[str, float]:
+    """Steady-state miss ratios of interleaved streams sharing a cache.
+
+    Args:
+        streams: Owner -> (stream, accesses per round).  The per-round
+            access counts set the relative access *rates* of the
+            sharers, as in the analytic model's demands.
+        geometry: Shared cache to simulate.
+        rounds: Measured interleaving rounds.
+        warmup_rounds: Rounds run before measurement starts.
+
+    Returns:
+        Owner -> measured miss ratio over the measurement window.
+    """
+    if rounds <= 0:
+        raise ValueError("need a positive measurement window")
+    cache = SetAssociativeCache(geometry=geometry)
+    sources = {
+        owner: stream.addresses() for owner, (stream, _) in streams.items()
+    }
+
+    def run_round() -> None:
+        # Proportional fine-grained interleave: every sharer advances
+        # at its own rate in each slice, so all finish the round
+        # together (concurrent execution, not phased bursts).
+        slices = max(
+            1, max(count for (_, count) in streams.values()) // 8
+        )
+        credit = {owner: 0.0 for owner in streams}
+        for _ in range(slices):
+            for owner, (_, count) in streams.items():
+                credit[owner] += count / slices
+                step = int(credit[owner])
+                credit[owner] -= step
+                for _ in range(step):
+                    cache.access(next(sources[owner]), owner=owner)
+        for owner, (_, count) in streams.items():
+            # Flush any residual fractional credit.
+            step = int(round(credit[owner]))
+            for _ in range(step):
+                cache.access(next(sources[owner]), owner=owner)
+
+    for _ in range(warmup_rounds):
+        run_round()
+    for stats in cache.owner_stats.values():
+        stats.accesses = 0
+        stats.misses = 0
+    for _ in range(rounds):
+        run_round()
+    return {
+        owner: cache.owner_stats[owner].miss_ratio for owner in streams
+    }

@@ -1,0 +1,87 @@
+"""DOM tree and Table-I census tests."""
+
+import pytest
+
+from repro.browser.dom import DomNode, PageFeatures, census
+from repro.browser.html import parse_html
+
+
+def _doc(markup: str) -> DomNode:
+    return parse_html(markup)
+
+
+class TestCensus:
+    def test_counts_on_a_known_document(self):
+        markup = (
+            "<html><body>"
+            '<div class="a"><a href="/1">x</a><a href="/2">y</a></div>'
+            "<div><p>text</p></div>"
+            '<link rel="stylesheet" href="/css"/>'
+            "</body></html>"
+        )
+        features = census(_doc(markup))
+        # Nodes: #document, html, body, 2 div, 2 a, p, link + 3 text.
+        assert features.dom_nodes == 12
+        assert features.div_tags == 2
+        assert features.a_tags == 2
+        assert features.class_attributes == 1
+        # href on both anchors and the link element.
+        assert features.href_attributes == 3
+
+    def test_a_tag_without_href_counts_as_tag_only(self):
+        features = census(_doc("<a name='x'>y</a>"))
+        assert features.a_tags == 1
+        assert features.href_attributes == 0
+
+    def test_class_counts_elements_not_class_names(self):
+        features = census(_doc('<div class="a b c">x</div>'))
+        assert features.class_attributes == 1
+
+    def test_text_nodes_count_toward_dom_nodes(self):
+        with_text = census(_doc("<p>x</p>")).dom_nodes
+        without_text = census(_doc("<p></p>")).dom_nodes
+        assert with_text == without_text + 1
+
+    def test_empty_document(self):
+        features = census(DomNode(tag="#document"))
+        assert features == PageFeatures(1, 0, 0, 0, 0)
+
+    def test_as_tuple_order_matches_table_one(self):
+        features = PageFeatures(5, 4, 3, 2, 1)
+        assert features.as_tuple() == (5, 4, 3, 2, 1)
+
+
+class TestTraversal:
+    def test_walk_is_preorder(self):
+        root = _doc("<a><b></b><c></c></a>")
+        tags = [n.tag for n in root.walk() if not n.is_text]
+        assert tags == ["#document", "a", "b", "c"]
+
+    def test_elements_excludes_text(self):
+        root = _doc("<p>hello</p>")
+        assert all(not n.is_text for n in root.elements())
+
+    def test_find_all_is_case_insensitive_on_query(self):
+        root = _doc("<div><p>x</p><p>y</p></div>")
+        assert len(root.find_all("P")) == 2
+
+    def test_find_all_includes_nested_matches(self):
+        root = _doc("<div><div><div></div></div></div>")
+        assert len(root.find_all("div")) == 3
+
+    def test_text_content_concatenates_subtree(self):
+        root = _doc("<div><p>a</p><p>b</p></div>")
+        assert root.text_content() == "ab"
+
+    def test_depth_of_leaf_is_one(self):
+        assert DomNode(tag="p").depth() == 1
+
+    def test_depth_counts_nesting(self):
+        root = _doc("<a><b><c></c></b></a>")
+        assert root.depth() == 4  # document > a > b > c
+
+    def test_append_returns_the_child(self):
+        parent = DomNode(tag="div")
+        child = parent.append(DomNode(tag="p"))
+        assert child.tag == "p"
+        assert parent.children == [child]

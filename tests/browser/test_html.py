@@ -1,0 +1,185 @@
+"""HTML tokenizer and parser tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.browser.html import (
+    HtmlSyntaxError,
+    Token,
+    TokenKind,
+    parse_html,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_simple_element(self):
+        tokens = tokenize("<p>hi</p>")
+        assert [t.kind for t in tokens] == [
+            TokenKind.START_TAG,
+            TokenKind.TEXT,
+            TokenKind.END_TAG,
+        ]
+        assert tokens[0].data == "p"
+        assert tokens[1].data == "hi"
+
+    def test_tag_names_are_lowercased(self):
+        tokens = tokenize("<DIV></DIV>")
+        assert tokens[0].data == "div"
+        assert tokens[1].data == "div"
+
+    def test_attributes_double_quoted(self):
+        (token,) = tokenize('<a href="/x" class="nav">')
+        assert token.attributes == {"href": "/x", "class": "nav"}
+
+    def test_attributes_single_quoted(self):
+        (token,) = tokenize("<a href='/y'>")
+        assert token.attributes == {"href": "/y"}
+
+    def test_attributes_unquoted(self):
+        (token,) = tokenize("<input type=text>")
+        assert token.attributes == {"type": "text"}
+
+    def test_boolean_attribute(self):
+        (token,) = tokenize("<input disabled>")
+        assert token.attributes == {"disabled": ""}
+
+    def test_attribute_names_lowercased(self):
+        (token,) = tokenize('<a HREF="/z">')
+        assert token.attributes == {"href": "/z"}
+
+    def test_attribute_value_with_spaces(self):
+        (token,) = tokenize('<div class="a b c">')
+        assert token.attributes["class"] == "a b c"
+
+    def test_self_closing_tag(self):
+        (token,) = tokenize('<img src="x.jpg"/>')
+        assert token.self_closing is True
+        assert token.attributes == {"src": "x.jpg"}
+
+    def test_comment_token(self):
+        tokens = tokenize("<!-- note -->")
+        assert tokens == [Token(TokenKind.COMMENT, " note ")]
+
+    def test_doctype_token(self):
+        tokens = tokenize("<!DOCTYPE html>")
+        assert tokens[0].kind is TokenKind.DOCTYPE
+        assert tokens[0].data == "DOCTYPE html"
+
+    def test_whitespace_between_tags_is_dropped(self):
+        tokens = tokenize("<p>\n   </p>")
+        assert [t.kind for t in tokens] == [TokenKind.START_TAG, TokenKind.END_TAG]
+
+    def test_script_content_is_raw_text(self):
+        tokens = tokenize("<script>if (a < b) { x(); }</script>")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [TokenKind.START_TAG, TokenKind.TEXT, TokenKind.END_TAG]
+        assert "a < b" in tokens[1].data
+
+    def test_style_content_is_raw_text(self):
+        tokens = tokenize("<style>a > b { color: red }</style>")
+        assert tokens[1].kind is TokenKind.TEXT
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(HtmlSyntaxError):
+            tokenize("<!-- oops")
+
+    def test_unterminated_tag_raises(self):
+        with pytest.raises(HtmlSyntaxError):
+            tokenize("<div")
+
+    def test_unterminated_script_raises(self):
+        with pytest.raises(HtmlSyntaxError):
+            tokenize("<script>var x = 1;")
+
+    def test_empty_tag_raises(self):
+        with pytest.raises(HtmlSyntaxError):
+            tokenize("<>")
+
+    def test_unterminated_attribute_raises(self):
+        with pytest.raises(HtmlSyntaxError):
+            tokenize('<a href="x>')
+
+
+class TestParser:
+    def test_builds_nested_tree(self):
+        root = parse_html("<html><body><div><p>x</p></div></body></html>")
+        html = root.children[0]
+        assert html.tag == "html"
+        body = html.children[0]
+        div = body.children[0]
+        assert div.tag == "div"
+        assert div.children[0].tag == "p"
+
+    def test_document_root_is_synthetic(self):
+        root = parse_html("<p>x</p>")
+        assert root.tag == "#document"
+
+    def test_text_nodes_carry_content(self):
+        root = parse_html("<p>hello world</p>")
+        assert root.text_content() == "hello world"
+
+    def test_void_elements_take_no_children(self):
+        root = parse_html("<div><img src='a.png'><p>x</p></div>")
+        div = root.children[0]
+        img, paragraph = div.children
+        assert img.tag == "img"
+        assert img.children == []
+        assert paragraph.tag == "p"
+
+    def test_self_closing_takes_no_children(self):
+        root = parse_html("<div><widget/><p>x</p></div>")
+        div = root.children[0]
+        assert div.children[0].tag == "widget"
+        assert div.children[0].children == []
+        assert div.children[1].tag == "p"
+
+    def test_unmatched_end_tag_is_ignored(self):
+        root = parse_html("<div></span><p>x</p></div>")
+        div = root.children[0]
+        assert [c.tag for c in div.children] == ["p"]
+
+    def test_end_tag_closes_intervening_elements(self):
+        """</div> pops the open <p> too, lenient-HTML style."""
+        root = parse_html("<div><p>text</div><span>y</span>")
+        assert [c.tag for c in root.children] == ["div", "span"]
+
+    def test_unclosed_elements_are_closed_at_eof(self):
+        root = parse_html("<div><p>dangling")
+        div = root.children[0]
+        assert div.children[0].tag == "p"
+
+    def test_comments_do_not_enter_the_dom(self):
+        root = parse_html("<div><!-- hidden --><p>x</p></div>")
+        div = root.children[0]
+        assert [c.tag for c in div.children] == ["p"]
+
+    def test_doctype_does_not_enter_the_dom(self):
+        root = parse_html("<!DOCTYPE html><html></html>")
+        assert [c.tag for c in root.children] == ["html"]
+
+    def test_attributes_survive_parsing(self):
+        root = parse_html('<a href="/home" class="nav link">go</a>')
+        anchor = root.children[0]
+        assert anchor.attributes["href"] == "/home"
+        assert anchor.attributes["class"] == "nav link"
+
+    @given(
+        depth=st.integers(1, 30),
+        breadth=st.integers(1, 5),
+    )
+    def test_nested_structures_round_trip_node_counts(self, depth, breadth):
+        markup = "<div>" * depth + "<p>x</p>" * breadth + "</div>" * depth
+        root = parse_html(markup)
+        elements = [n for n in root.walk() if not n.is_text and n.tag != "#document"]
+        assert len(elements) == depth + breadth
+
+    @given(st.text(alphabet="abcdef <>/=\"'-!", max_size=120))
+    def test_parser_never_crashes_on_junk(self, text):
+        """Lenient parsing: arbitrary input either parses or raises the
+        typed syntax error -- never an unexpected exception."""
+        try:
+            parse_html(text)
+        except HtmlSyntaxError:
+            pass

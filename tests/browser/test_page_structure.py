@@ -1,0 +1,49 @@
+"""Generator fidelity: each page's DOM matches its profile exactly."""
+
+import pytest
+
+from repro.browser.pages import alexa_pages, page_by_name
+
+
+class TestProfileFidelity:
+    @pytest.mark.parametrize("page_name", [p.name for p in alexa_pages()])
+    def test_section_count_matches_profile(self, page_name):
+        page = page_by_name(page_name)
+        assert len(page.dom.find_all("section")) == page.profile.sections
+
+    @pytest.mark.parametrize("page_name", [p.name for p in alexa_pages()])
+    def test_image_count_matches_profile(self, page_name):
+        page = page_by_name(page_name)
+        expected = page.profile.sections * page.profile.images_per_section
+        assert len(page.dom.find_all("img")) == expected
+
+    @pytest.mark.parametrize("page_name", [p.name for p in alexa_pages()])
+    def test_every_anchor_carries_an_href(self, page_name):
+        page = page_by_name(page_name)
+        anchors = page.dom.find_all("a")
+        assert anchors
+        assert all("href" in a.attributes for a in anchors)
+
+    @pytest.mark.parametrize("page_name", [p.name for p in alexa_pages()])
+    def test_navigation_and_footer_exist(self, page_name):
+        page = page_by_name(page_name)
+        assert page.dom.find_all("nav")
+        assert page.dom.find_all("footer")
+
+    def test_link_density_follows_profile(self):
+        """Paragraph links per content block = links_per_item."""
+        page = page_by_name("reddit")
+        profile = page.profile
+        content_links = (
+            profile.sections * profile.items_per_section * profile.links_per_item
+        )
+        nav_links = max(4, profile.sections)
+        footer_links = 6
+        assert len(page.dom.find_all("a")) == (
+            content_links + nav_links + footer_links
+        )
+
+    def test_nesting_depth_shows_up_in_the_tree(self):
+        shallow = page_by_name("360")  # nesting_depth 2
+        deep = page_by_name("aliexpress")  # nesting_depth 4
+        assert deep.dom.depth() > shallow.dom.depth()

@@ -1,0 +1,64 @@
+"""Shared fixtures.
+
+Heavy artifacts (trained models, suite sweeps) are cached on disk via
+:mod:`repro.experiments.cache`, so the first full run pays the
+simulation cost and later runs are fast.  Unit tests never need them;
+the integration tests use a deliberately small training configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.experiments.harness import HarnessConfig
+from repro.models.training import TrainingConfig, run_campaign, train_models
+from repro.soc.specs import nexus5_spec
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    # Fixtures consumed inside @given tests here are read-only model
+    # objects, so reuse across examples is safe.
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def spec():
+    """The Nexus 5 platform description."""
+    return nexus5_spec()
+
+
+#: A small-but-real training configuration: three pages spanning the
+#: complexity range, four frequencies spanning the bus groups.
+SMALL_TRAINING = TrainingConfig(
+    pages=("amazon", "msn", "espn"),
+    freqs_hz=(729.6e6, 1190.4e6, 1728.0e6, 2265.6e6),
+    dt_s=0.004,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def small_models():
+    """Models trained on the small campaign (seconds, not minutes)."""
+    observations = run_campaign(SMALL_TRAINING)
+    return train_models(observations)
+
+
+@pytest.fixture(scope="session")
+def small_predictor(small_models):
+    """Predictor backed by the small campaign."""
+    return small_models.predictor
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    """Harness config with a coarser engine step for integration tests."""
+    return HarnessConfig(dt_s=0.004)

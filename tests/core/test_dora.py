@@ -1,0 +1,97 @@
+"""DORA governor unit tests (Algorithm 1) with the stub predictor."""
+
+import pytest
+
+from repro.core.dora import EVALUATED_INTERVALS_S, DoraGovernor
+from repro.core.ppw import select_fopt
+from repro.sim.governor import RunContext
+from tests.core.test_governors import StubPredictor, _context, _sample
+
+
+class TestAlgorithmOne:
+    def test_selects_ppw_max_among_feasible(self, spec):
+        stub = StubPredictor()
+        governor = DoraGovernor(predictor=stub)
+        context = _context(spec, deadline=3.0)
+        target = governor.decide(_sample(2265.6e6), context)
+        expected = select_fopt(
+            stub.prediction_table(context.page_features, 0.0, 1.0, 50.0),
+            3.0,
+        )
+        assert target == expected.freq_hz
+
+    def test_tight_deadline_forces_higher_frequency(self, spec):
+        governor = DoraGovernor(predictor=StubPredictor())
+        loose = governor.decide(_sample(2265.6e6), _context(spec, deadline=5.0))
+        tight = governor.decide(_sample(2265.6e6), _context(spec, deadline=1.4))
+        assert tight > loose
+
+    def test_infeasible_deadline_runs_at_fmax_candidate(self, spec):
+        stub = StubPredictor()
+        governor = DoraGovernor(predictor=stub)
+        target = governor.decide(_sample(2265.6e6), _context(spec, deadline=0.2))
+        assert target == pytest.approx(max(stub.freqs_ghz) * 1e9)
+
+    def test_interference_changes_fopt(self, spec):
+        governor = DoraGovernor(predictor=StubPredictor())
+        context = _context(spec, deadline=2.0)
+        quiet = governor.decide(_sample(2265.6e6, mpki_corunner=0.0), context)
+        noisy = governor.decide(_sample(2265.6e6, mpki_corunner=15.0), context)
+        assert noisy >= quiet
+
+    def test_initial_frequency_uses_zero_interference_prior(self, spec):
+        stub = StubPredictor()
+        governor = DoraGovernor(predictor=stub)
+        governor.initial_frequency(_context(spec))
+        mpki, utilization, _ = stub.calls[-1]
+        assert mpki == 0.0
+        assert utilization == 0.0
+
+    def test_requires_page_census(self, spec):
+        governor = DoraGovernor(predictor=StubPredictor())
+        with pytest.raises(ValueError):
+            governor.decide(_sample(2265.6e6), RunContext(spec=spec))
+
+
+class TestLeakageAblation:
+    def test_no_lkg_renames_itself(self):
+        governor = DoraGovernor(predictor=StubPredictor(), include_leakage=False)
+        assert governor.name == "DORA_no_lkg"
+
+    def test_leakage_aware_keeps_name(self):
+        assert DoraGovernor(predictor=StubPredictor()).name == "DORA"
+
+    def test_no_lkg_sees_cheaper_high_frequencies(self, spec):
+        """Without the leakage term the predicted power table is lower,
+        and by construction of the stub more so at high frequency --
+        the ablation's selection bias."""
+        stub = StubPredictor()
+        aware_table = stub.prediction_table(None, 0.0, 0.0, 50.0, True)
+        blind_table = stub.prediction_table(None, 0.0, 0.0, 50.0, False)
+        deltas = [
+            aware.power_w - blind.power_w
+            for aware, blind in zip(aware_table, blind_table)
+        ]
+        assert deltas == sorted(deltas)
+        assert deltas[-1] > deltas[0]
+
+
+class TestBookkeeping:
+    def test_last_table_and_fopt_are_recorded(self, spec):
+        governor = DoraGovernor(predictor=StubPredictor())
+        target = governor.decide(_sample(2265.6e6), _context(spec))
+        assert governor.last_fopt_hz == target
+        assert len(governor.last_table) == 5
+
+    def test_reset_clears_state(self, spec):
+        governor = DoraGovernor(predictor=StubPredictor())
+        governor.decide(_sample(2265.6e6), _context(spec))
+        governor.reset()
+        assert governor.last_table == []
+        assert governor.last_fopt_hz == 0.0
+
+    def test_default_interval_is_100ms(self):
+        assert DoraGovernor(predictor=StubPredictor()).interval_s == 0.1
+
+    def test_paper_evaluated_intervals(self):
+        assert EVALUATED_INTERVALS_S == (0.05, 0.1, 0.25)

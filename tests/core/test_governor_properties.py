@@ -1,0 +1,82 @@
+"""Property tests: every governor's decision stays in the DVFS domain."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dora import DoraGovernor
+from repro.core.governors import (
+    DeadlineGovernor,
+    EnergyEfficientGovernor,
+    InteractiveGovernor,
+    OndemandGovernor,
+)
+from repro.soc.specs import nexus5_spec
+from tests.core.test_governors import StubPredictor, _context, _sample
+
+SPEC = nexus5_spec()
+FREQS = SPEC.frequencies_hz
+
+
+class TestDecisionDomain:
+    @given(
+        busy=st.floats(0.0, 1.0),
+        freq_index=st.integers(0, 13),
+    )
+    def test_interactive_always_returns_a_table_frequency(self, busy, freq_index):
+        governor = InteractiveGovernor()
+        governor.reset()
+        sample = _sample(FREQS[freq_index], busy=busy)
+        target = governor.decide(sample, _context(SPEC))
+        assert target in FREQS
+
+    @given(
+        busy=st.floats(0.0, 1.0),
+        freq_index=st.integers(0, 13),
+    )
+    def test_ondemand_always_returns_a_table_frequency(self, busy, freq_index):
+        governor = OndemandGovernor()
+        sample = _sample(FREQS[freq_index], busy=busy)
+        assert governor.decide(sample, _context(SPEC)) in FREQS
+
+    @given(
+        mpki=st.floats(0.0, 30.0),
+        deadline=st.floats(0.5, 10.0),
+    )
+    def test_model_governors_return_stub_candidates(self, mpki, deadline):
+        stub = StubPredictor()
+        candidates = {f * 1e9 for f in stub.freqs_ghz}
+        sample = _sample(2265.6e6, mpki_corunner=mpki)
+        for governor in (
+            DoraGovernor(predictor=stub),
+            DeadlineGovernor(predictor=stub),
+            EnergyEfficientGovernor(predictor=stub),
+        ):
+            target = governor.decide(sample, _context(SPEC, deadline=deadline))
+            assert target in candidates or target == SPEC.max_state.freq_hz
+
+    @given(
+        deadline_a=st.floats(0.5, 10.0),
+        deadline_b=st.floats(0.5, 10.0),
+    )
+    def test_dora_choice_is_monotone_in_the_deadline(self, deadline_a, deadline_b):
+        """A tighter deadline can only raise (never lower) fopt."""
+        tight, loose = sorted((deadline_a, deadline_b))
+        sample = _sample(2265.6e6)
+        choice_tight = DoraGovernor(predictor=StubPredictor()).decide(
+            sample, _context(SPEC, deadline=tight)
+        )
+        choice_loose = DoraGovernor(predictor=StubPredictor()).decide(
+            sample, _context(SPEC, deadline=loose)
+        )
+        assert choice_tight >= choice_loose
+
+    @given(mpki=st.floats(0.0, 30.0))
+    def test_dora_interference_monotonicity(self, mpki):
+        """More observed interference never lowers DORA's choice when
+        the deadline binds (the stub's load grows with MPKI)."""
+        governor = DoraGovernor(predictor=StubPredictor())
+        context = _context(SPEC, deadline=2.0)
+        quiet = governor.decide(_sample(2265.6e6, mpki_corunner=0.0), context)
+        noisy = governor.decide(_sample(2265.6e6, mpki_corunner=mpki), context)
+        assert noisy >= quiet

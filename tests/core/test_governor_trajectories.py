@@ -1,0 +1,104 @@
+"""Engine-level governor behaviour: full frequency trajectories.
+
+The unit tests check single decisions; these run whole page loads and
+assert the *shape* of each governor's frequency timeline -- the ramp
+patterns that define Android's utilization governors and DORA's
+converge-then-hold behaviour.
+"""
+
+import pytest
+
+from repro.browser.browser import browser_tasks
+from repro.browser.pages import page_by_name
+from repro.core.governors import InteractiveGovernor, OndemandGovernor
+from repro.sim.analysis import frequency_timeline
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.governor import RunContext
+from repro.soc.device import Device
+from repro.workloads.kernels import kernel_by_name, kernel_task
+
+
+def _run(governor, page="bbc", kernel="bfs", dt=0.002):
+    device = Device()
+    page_obj = page_by_name(page)
+    tasks = browser_tasks(page_obj).as_list()
+    if kernel:
+        tasks.append(kernel_task(kernel_by_name(kernel)))
+    engine = Engine(
+        device=device,
+        tasks=tasks,
+        governor=governor,
+        context=RunContext(spec=device.spec, page_features=page_obj.features),
+        config=EngineConfig(dt_s=dt),
+    )
+    return engine.run()
+
+
+class TestInteractiveTrajectory:
+    def test_starts_low_and_ramps_monotonically_while_busy(self):
+        result = _run(InteractiveGovernor())
+        timeline = frequency_timeline(result.trace)
+        freqs = [freq for _, freq in timeline]
+        assert freqs[0] == pytest.approx(300e6)
+        # While the load keeps every core busy, interactive only ramps up.
+        assert freqs == sorted(freqs)
+
+    def test_passes_through_the_hispeed_step(self):
+        governor = InteractiveGovernor()
+        result = _run(governor)
+        visited = [freq for _, freq in frequency_timeline(result.trace)]
+        hispeed = Device().spec.ceil_state(governor.hispeed_freq_hz).freq_hz
+        assert hispeed in visited
+
+    def test_reaches_fmax_within_a_few_hundred_ms(self):
+        result = _run(InteractiveGovernor())
+        timeline = frequency_timeline(result.trace)
+        fmax = Device().spec.max_state.freq_hz
+        reach_times = [t for t, f in timeline if f == fmax]
+        assert reach_times, "never reached fmax"
+        assert reach_times[0] < 0.5
+
+    def test_many_decisions_few_switches(self):
+        result = _run(InteractiveGovernor())
+        assert len(result.decisions.times_s) > result.switch_count
+
+
+class TestOndemandTrajectory:
+    def test_jumps_to_fmax_in_one_decision(self):
+        result = _run(OndemandGovernor())
+        timeline = frequency_timeline(result.trace)
+        fmax = Device().spec.max_state.freq_hz
+        # First change point after the initial frequency is fmax.
+        assert timeline[1][1] == fmax
+        assert timeline[1][0] <= 0.05
+
+    def test_ondemand_is_faster_but_hungrier_than_interactive(self):
+        ondemand = _run(OndemandGovernor())
+        interactive = _run(InteractiveGovernor())
+        assert ondemand.load_time_s <= interactive.load_time_s + 0.02
+        assert ondemand.avg_power_w >= interactive.avg_power_w - 0.05
+
+
+class TestDoraTrajectory:
+    def test_converges_to_a_small_frequency_set(self, small_predictor):
+        from repro.core.dora import DoraGovernor
+
+        result = _run(DoraGovernor(predictor=small_predictor), page="msn")
+        distinct = {freq for _, freq in frequency_timeline(result.trace)}
+        assert len(distinct) <= 3
+
+    def test_holds_fopt_once_interference_is_observed(self, small_predictor):
+        from repro.core.dora import DoraGovernor
+
+        result = _run(DoraGovernor(predictor=small_predictor), page="msn")
+        timeline = frequency_timeline(result.trace)
+        # After the first correction, the frequency stays put.
+        if len(timeline) > 1:
+            settle_time = timeline[-1][0]
+            assert settle_time < 0.35
+
+    def test_dora_switch_count_is_low(self, small_predictor):
+        from repro.core.dora import DoraGovernor
+
+        result = _run(DoraGovernor(predictor=small_predictor), page="espn")
+        assert result.switch_count <= 3

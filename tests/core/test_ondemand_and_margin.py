@@ -1,0 +1,71 @@
+"""Tests for the extension governors: ondemand and QoS-margin DORA."""
+
+import pytest
+
+from repro.core.dora import DoraGovernor
+from repro.core.governors import OndemandGovernor
+from tests.core.test_governors import StubPredictor, _context, _sample
+
+
+class TestOndemand:
+    def test_starts_low(self, spec):
+        governor = OndemandGovernor()
+        assert governor.initial_frequency(_context(spec)) == pytest.approx(300e6)
+
+    def test_high_load_jumps_straight_to_fmax(self, spec):
+        """Unlike interactive's hispeed step, ondemand goes to max."""
+        governor = OndemandGovernor()
+        target = governor.decide(_sample(300e6, busy=0.95), _context(spec))
+        assert target == spec.max_state.freq_hz
+
+    def test_light_load_scales_down_proportionally(self, spec):
+        governor = OndemandGovernor()
+        target = governor.decide(_sample(2265.6e6, busy=0.3), _context(spec))
+        assert target == spec.ceil_state(2265.6e6 * 0.3 / 0.8).freq_hz
+
+    def test_threshold_boundary(self, spec):
+        governor = OndemandGovernor(up_threshold=0.5)
+        assert governor.decide(
+            _sample(960e6, busy=0.5), _context(spec)
+        ) == spec.max_state.freq_hz
+
+    def test_name(self):
+        assert OndemandGovernor().name == "ondemand"
+
+
+class TestQosMargin:
+    def test_margin_bounds_validated(self):
+        with pytest.raises(ValueError):
+            DoraGovernor(predictor=StubPredictor(), qos_margin=1.0)
+        with pytest.raises(ValueError):
+            DoraGovernor(predictor=StubPredictor(), qos_margin=-0.1)
+
+    def test_zero_margin_is_the_paper_behaviour(self, spec):
+        base = DoraGovernor(predictor=StubPredictor())
+        margined = DoraGovernor(predictor=StubPredictor(), qos_margin=0.0)
+        context = _context(spec, deadline=2.0)
+        assert base.decide(_sample(2265.6e6), context) == margined.decide(
+            _sample(2265.6e6), context
+        )
+
+    def test_margin_escalates_near_boundary_choices(self, spec):
+        """Stub: load(f) = 2/f + 0.4.  Deadline 2.0 -> 1.5 GHz feasible
+        (1.73s).  With a 15% margin the effective deadline is 1.7 s and
+        1.5 GHz no longer qualifies -> DORA must escalate."""
+        base = DoraGovernor(predictor=StubPredictor())
+        careful = DoraGovernor(predictor=StubPredictor(), qos_margin=0.15)
+        context = _context(spec, deadline=2.0)
+        assert base.decide(_sample(2265.6e6), context) == pytest.approx(1.5e9)
+        assert careful.decide(_sample(2265.6e6), context) > 1.5e9
+
+    def test_margin_never_relaxes(self, spec):
+        """A margin can only raise (never lower) the chosen frequency."""
+        context = _context(spec, deadline=2.0)
+        base_choice = DoraGovernor(predictor=StubPredictor()).decide(
+            _sample(2265.6e6), context
+        )
+        for margin in (0.05, 0.1, 0.2):
+            choice = DoraGovernor(
+                predictor=StubPredictor(), qos_margin=margin
+            ).decide(_sample(2265.6e6), context)
+            assert choice >= base_choice

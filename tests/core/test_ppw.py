@@ -1,0 +1,156 @@
+"""PPW arithmetic tests (Equations 1 and 6, Algorithm 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ppw import (
+    FrequencyPrediction,
+    find_fd,
+    find_fe,
+    fopt_error_margin,
+    fopt_tolerates_errors,
+    ppw,
+    ppw_under_error,
+    select_fopt,
+)
+
+
+def _point(freq_ghz, load, power):
+    return FrequencyPrediction(
+        freq_hz=freq_ghz * 1e9, load_time_s=load, power_w=power
+    )
+
+
+#: A table with an interior PPW peak at 1.5 GHz.
+#: PPW: 0.8->0.208, 1.2->0.245, 1.5->0.247, 1.9->0.217, 2.3->0.178
+TABLE = [
+    _point(0.8, 3.2, 1.5),
+    _point(1.2, 2.4, 1.7),
+    _point(1.5, 2.0, 2.025),
+    _point(1.9, 1.7, 2.7),
+    _point(2.3, 1.5, 3.75),
+]
+
+
+class TestBasics:
+    def test_ppw_definition(self):
+        assert ppw(2.0, 2.5) == pytest.approx(0.2)
+
+    def test_ppw_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ppw(0.0, 1.0)
+        with pytest.raises(ValueError):
+            ppw(1.0, -1.0)
+
+    def test_prediction_validation(self):
+        with pytest.raises(ValueError):
+            _point(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            _point(1.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            _point(1.0, 1.0, 0.0)
+
+    def test_prediction_ppw_property(self):
+        assert _point(1.0, 2.0, 0.5).ppw == pytest.approx(1.0)
+
+
+class TestOraclePoints:
+    def test_fe_is_the_ppw_max(self):
+        assert find_fe(TABLE).freq_hz == pytest.approx(1.5e9)
+
+    def test_fd_is_the_lowest_deadline_meeting_frequency(self):
+        assert find_fd(TABLE, 3.0).freq_hz == pytest.approx(1.2e9)
+        assert find_fd(TABLE, 2.0).freq_hz == pytest.approx(1.5e9)
+
+    def test_fd_none_when_infeasible(self):
+        assert find_fd(TABLE, 1.0) is None
+
+    def test_fd_rejects_non_positive_deadline(self):
+        with pytest.raises(ValueError):
+            find_fd(TABLE, 0.0)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            find_fe([])
+
+
+class TestEquationOne:
+    """fopt = fE when fD <= fE, else fD."""
+
+    def test_fe_wins_when_it_meets_the_deadline(self):
+        # Deadline 3.0: fD = 1.2 <= fE = 1.5 -> fopt = fE.
+        assert select_fopt(TABLE, 3.0).freq_hz == pytest.approx(1.5e9)
+
+    def test_fd_wins_when_fe_misses_the_deadline(self):
+        # Deadline 1.6: only 2.3 GHz meets it -> fopt = fD = 2.3.
+        assert select_fopt(TABLE, 1.6).freq_hz == pytest.approx(2.3e9)
+
+    def test_infeasible_falls_back_to_fmax(self):
+        assert select_fopt(TABLE, 0.5).freq_hz == pytest.approx(2.3e9)
+
+    def test_algorithm_one_equals_equation_one(self):
+        """Argmax-over-feasible equals the fE/fD case split."""
+        for deadline in (0.8, 1.6, 1.8, 2.1, 2.5, 3.5, 10.0):
+            via_algorithm = select_fopt(TABLE, deadline)
+            fd = find_fd(TABLE, deadline)
+            fe = find_fe(TABLE)
+            if fd is None:
+                expected = max(TABLE, key=lambda p: p.freq_hz)
+            elif fd.freq_hz <= fe.freq_hz and fe.load_time_s <= deadline:
+                expected = fe
+            else:
+                # fE misses: the best feasible point; with a unimodal
+                # PPW curve that is fD.
+                expected = fd
+            assert via_algorithm.freq_hz == expected.freq_hz, deadline
+
+    @given(deadline=st.floats(0.3, 20.0))
+    def test_selected_point_is_feasible_or_fmax(self, deadline):
+        choice = select_fopt(TABLE, deadline)
+        feasible = [p for p in TABLE if p.load_time_s <= deadline]
+        if feasible:
+            assert choice.load_time_s <= deadline
+            assert all(choice.ppw >= p.ppw for p in feasible)
+        else:
+            assert choice.freq_hz == max(p.freq_hz for p in TABLE)
+
+
+class TestEquationSix:
+    def test_ppw_under_error_formula(self):
+        exact = ppw_under_error(2.0, 2.0, 0.0, 0.0)
+        assert exact == pytest.approx(0.25)
+        degraded = ppw_under_error(2.0, 2.0, 0.1, 0.1)
+        assert degraded == pytest.approx(0.25 / 1.21)
+
+    def test_error_must_keep_predictions_positive(self):
+        with pytest.raises(ValueError):
+            ppw_under_error(1.0, 1.0, -1.0, 0.0)
+
+    def test_margin_is_gap_to_runner_up(self):
+        margin = fopt_error_margin(TABLE, 3.0)
+        fe = find_fe(TABLE)
+        runner_up = max(
+            (p for p in TABLE if p.freq_hz != fe.freq_hz and p.load_time_s <= 3.0),
+            key=lambda p: p.ppw,
+        )
+        assert margin == pytest.approx(fe.ppw / runner_up.ppw - 1.0)
+
+    def test_margin_infinite_when_only_one_feasible_point(self):
+        assert fopt_error_margin(TABLE, 1.6) == float("inf")
+
+    def test_small_errors_are_tolerated_when_margin_is_wide(self):
+        wide = [_point(1.0, 3.0, 1.0), _point(2.0, 2.0, 1.0)]
+        # fopt = 2 GHz with 50% margin.
+        assert fopt_tolerates_errors(wide, 10.0, 0.05, 0.05)
+
+    def test_large_errors_are_not_tolerated(self):
+        wide = [_point(1.0, 3.0, 1.0), _point(2.0, 2.0, 1.0)]
+        assert not fopt_tolerates_errors(wide, 10.0, 0.30, 0.20)
+
+    def test_discretization_argument(self):
+        """The paper's Fig. 6 point: errors much smaller than the PPW
+        step between adjacent settings cannot change fopt."""
+        margin = fopt_error_margin(TABLE, 10.0)
+        tiny = margin / 4
+        assert fopt_tolerates_errors(TABLE, 10.0, tiny, tiny / 2)

@@ -1,0 +1,128 @@
+"""Battery-life translation tests (pure arithmetic on stub summaries)."""
+
+import pytest
+
+from repro.core.ppw import FrequencyPrediction
+from repro.experiments.battery import (
+    BatteryLifeResult,
+    UsageProfile,
+    battery_life,
+    idle_power_w,
+)
+from repro.experiments.harness import (
+    ComboEvaluation,
+    HarnessConfig,
+    OraclePoints,
+    RunSummary,
+)
+from repro.experiments.suite import combo_for
+from repro.workloads.classification import MemoryIntensity
+
+
+def _summary(governor, load, power):
+    return RunSummary(
+        governor=governor,
+        load_time_s=load,
+        avg_power_w=power,
+        energy_j=load * power,
+        duration_s=load,
+        switch_count=0,
+        switch_stall_s=0.0,
+        final_temperature_c=50.0,
+    )
+
+
+def _evaluation(loads_powers):
+    """A stub evaluation with given per-governor (load, power)."""
+    combo = combo_for("amazon", MemoryIntensity.LOW)
+    sweep = (FrequencyPrediction(1e9, 1.0, 2.0),)
+    return ComboEvaluation(
+        combo=combo,
+        sweep=sweep,
+        oracle=OraclePoints(fd_hz=1e9, fe_hz=1e9, fopt_hz=1e9),
+        runs={
+            governor: _summary(governor, load, power)
+            for governor, (load, power) in loads_powers.items()
+        },
+    )
+
+
+class TestUsageProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UsageProfile(loads_per_hour=-1)
+        with pytest.raises(ValueError):
+            UsageProfile(battery_wh=0.0)
+
+
+class TestIdlePower:
+    def test_idle_is_well_below_active_power(self):
+        config = HarnessConfig()
+        idle = idle_power_w(config, display_on=True)
+        assert 0.5 < idle < 2.5
+
+    def test_display_off_saves_power(self):
+        config = HarnessConfig()
+        assert idle_power_w(config, False) < idle_power_w(config, True)
+
+
+class TestBatteryLife:
+    def _evaluations(self):
+        return [
+            _evaluation(
+                {
+                    "interactive": (1.0, 4.0),
+                    "DORA": (1.4, 2.2),  # slower but far cheaper
+                }
+            )
+        ]
+
+    def test_cheaper_loads_extend_battery_life(self):
+        result = battery_life(
+            self._evaluations(),
+            governors=("interactive", "DORA"),
+            profile=UsageProfile(loads_per_hour=600, battery_wh=8.7),
+        )
+        assert result.extension_vs("DORA", "interactive") > 1.0
+
+    def test_idle_dominated_profile_shrinks_the_gap(self):
+        busy = battery_life(
+            self._evaluations(),
+            governors=("interactive", "DORA"),
+            profile=UsageProfile(loads_per_hour=1200),
+        )
+        light = battery_life(
+            self._evaluations(),
+            governors=("interactive", "DORA"),
+            profile=UsageProfile(loads_per_hour=30),
+        )
+        assert busy.extension_vs("DORA", "interactive") > (
+            light.extension_vs("DORA", "interactive")
+        )
+
+    def test_battery_scale_is_sane(self):
+        result = battery_life(
+            self._evaluations(),
+            governors=("interactive",),
+            profile=UsageProfile(loads_per_hour=120, battery_wh=8.7),
+        )
+        # A phone browsing on-and-off should last hours, not minutes
+        # or weeks.
+        assert 2.0 < result.estimates["interactive"].hours < 24.0
+
+    def test_overcommitted_hour_rejected(self):
+        with pytest.raises(ValueError, match="exceeds an hour"):
+            battery_life(
+                self._evaluations(),
+                governors=("interactive",),
+                profile=UsageProfile(loads_per_hour=4000),
+            )
+
+    def test_render_orders_by_life_and_shows_gain(self):
+        result = battery_life(
+            self._evaluations(),
+            governors=("interactive", "DORA"),
+        )
+        text = result.render()
+        assert "battery life" in text
+        assert "interactive" in text and "DORA" in text

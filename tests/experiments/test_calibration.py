@@ -1,0 +1,40 @@
+"""Calibration-report structure tests (logic only; the full measured
+characterization runs via the CLI / benchmarks against cached sweeps)."""
+
+import pytest
+
+from repro.experiments.calibration import CalibrationReport, Property
+
+
+class TestReport:
+    def test_all_passing_report_passes(self):
+        report = CalibrationReport(
+            properties=[
+                Property("a", True, "ok"),
+                Property("b", True, "ok"),
+            ]
+        )
+        assert report.passed
+
+    def test_single_failure_fails_the_report(self):
+        report = CalibrationReport(
+            properties=[
+                Property("a", True, "ok"),
+                Property("b", False, "broken"),
+            ]
+        )
+        assert not report.passed
+
+    def test_render_marks_pass_and_fail(self):
+        report = CalibrationReport(
+            properties=[
+                Property("good", True, "fine"),
+                Property("bad", False, "oops"),
+            ]
+        )
+        text = report.render()
+        assert "PASS" in text and "FAIL" in text
+        assert "oops" in text
+
+    def test_empty_report_passes_vacuously(self):
+        assert CalibrationReport(properties=[]).passed

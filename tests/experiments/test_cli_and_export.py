@@ -1,0 +1,138 @@
+"""CLI and CSV-export tests.
+
+CLI commands that need the full trained bundle are exercised through
+the cheap subcommands (``list``, parser wiring); the figure/export
+paths are tested against hand-built result objects so no campaign is
+required.
+"""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.ppw import FrequencyPrediction
+from repro.experiments import export
+from repro.experiments.figures import Fig01Result, Fig07Result, Fig08Result, Fig08Row, Fig11Result
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["run", "reddit"],
+            ["sweep", "reddit", "--kernel", "bfs"],
+            ["figures", "--only", "fig07"],
+            ["train", "--output", "x.json"],
+            ["classify"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--only", "fig99"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "msn"])
+        assert args.governor == "DORA"
+        assert args.deadline == 3.0
+        assert args.kernel is None
+
+
+class TestListCommand:
+    def test_list_prints_pages_kernels_governors(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "reddit" in out
+        assert "needleman-wunsch" in out
+        assert "DORA" in out
+        assert "interactive" in out
+
+
+def _fig01():
+    return Fig01Result(
+        page_name="reddit",
+        rows={
+            0.7e9: (2.0, 2.1, 2.6, [2.1, 2.6]),
+            2.2e9: (0.6, 0.65, 0.75, [0.65, 0.75]),
+        },
+        deadlines_s=(2.0, 3.0),
+    )
+
+
+def _fig07():
+    return Fig07Result(
+        groups={
+            "all": {"DORA": 1.15, "EE": 1.2},
+            "inclusive": {"DORA": 1.16, "EE": 1.21},
+            "neutral": {"DORA": 1.12, "EE": 1.18},
+        },
+        load_times={"DORA": [1.0, 2.0, 4.0], "EE": [1.5, 2.5, 6.0]},
+        deadline_s=3.0,
+    )
+
+
+class TestExport:
+    def test_fig01_csv(self, tmp_path):
+        path = export.export_fig01(_fig01(), tmp_path)
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == [
+            "freq_ghz", "solo_load_s", "min_corun_load_s", "max_corun_load_s",
+        ]
+        assert len(rows) == 3
+        assert float(rows[1][0]) == pytest.approx(0.7)
+
+    def test_fig07_csvs(self, tmp_path):
+        result = _fig07()
+        bars = export.export_fig07(result, tmp_path)
+        cdf = export.export_fig07_cdf(result, tmp_path)
+        bar_rows = list(csv.reader(bars.open()))
+        assert ("all", "DORA") in {(r[0], r[1]) for r in bar_rows[1:]}
+        cdf_rows = list(csv.reader(cdf.open()))
+        assert cdf_rows[-1][2] == "1.0"
+
+    def test_fig08_csv(self, tmp_path):
+        result = Fig08Result(
+            rows=[
+                Fig08Row(
+                    label="a+b",
+                    regime="fE>=fD",
+                    normalized={
+                        g: 1.0
+                        for g in (
+                            "interactive", "performance", "fD", "fE",
+                            "DORA", "DL", "EE",
+                        )
+                    },
+                )
+            ]
+        )
+        path = export.export_fig08(result, tmp_path)
+        rows = list(csv.reader(path.open()))
+        assert rows[1][1] == "a+b"
+
+    def test_fig11_csv(self, tmp_path):
+        result = Fig11Result(
+            page_name="espn",
+            kernel_name="nw",
+            choices={3.0: (2.2656e9, 2.7), 6.0: (1.1904e9, None)},
+        )
+        path = export.export_fig11(result, tmp_path)
+        rows = list(csv.reader(path.open()))
+        assert rows[1] == ["3.0", "2.2656", "2.7"]
+        assert rows[2][2] == ""
+
+
+class TestFig07Helpers:
+    def test_cdf_and_miss_fraction(self):
+        result = _fig07()
+        cdf = result.cdf("DORA")
+        assert cdf[-1] == (4.0, 1.0)
+        assert result.deadline_miss_fraction("DORA") == pytest.approx(1 / 3)
+        assert result.deadline_miss_fraction("EE") == pytest.approx(1 / 3)

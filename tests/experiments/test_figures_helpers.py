@@ -1,0 +1,182 @@
+"""Unit tests for the figure result objects (no simulation needed)."""
+
+import pytest
+
+from repro.core.ppw import FrequencyPrediction
+from repro.experiments.figures import (
+    DecisionIntervalResult,
+    ExtendedComparisonResult,
+    Fig01Result,
+    Fig03Case,
+    Fig06Result,
+    Fig08Result,
+    Fig08Row,
+    Fig10Result,
+    Fig11Result,
+    HeadlineResult,
+    InterferenceAblationResult,
+    OverheadResult,
+    PiecewiseAblationResult,
+    QosMarginResult,
+    Tab03Result,
+)
+
+GOVS = ("interactive", "performance", "fD", "fE", "DORA", "DL", "EE")
+
+
+def _fig08(values):
+    return Fig08Result(
+        rows=[
+            Fig08Row(
+                label=f"w{i}",
+                regime="fE>=fD" if i % 2 else "fE<fD",
+                normalized={g: v for g in GOVS},
+            )
+            for i, v in enumerate(values)
+        ]
+    )
+
+
+class TestFig08Helpers:
+    def test_series_extracts_one_governor(self):
+        result = _fig08([1.0, 1.1, 1.2])
+        assert result.series("DORA") == [1.0, 1.1, 1.2]
+
+    def test_tracking_error_of_identical_series_is_zero(self):
+        result = _fig08([1.0, 1.1])
+        assert result.tracking_error("DORA", "EE") == 0.0
+
+    def test_tracking_error_measures_mean_gap(self):
+        rows = [
+            Fig08Row(
+                label="a",
+                regime="fE>=fD",
+                normalized={**{g: 1.0 for g in GOVS}, "EE": 1.2},
+            ),
+            Fig08Row(
+                label="b",
+                regime="fE>=fD",
+                normalized={**{g: 1.0 for g in GOVS}, "EE": 1.0},
+            ),
+        ]
+        result = Fig08Result(rows=rows)
+        assert result.tracking_error("DORA", "EE") == pytest.approx(0.1)
+
+    def test_render_has_a_row_per_workload(self):
+        text = _fig08([1.0, 1.1, 1.2]).render()
+        assert len(text.splitlines()) == 2 + 3
+
+
+class TestFig03Case:
+    def _case(self, fd, fe):
+        sweep = [FrequencyPrediction(1e9, 2.0, 2.0)]
+        return Fig03Case(
+            page_name="p", kernel_name="k", sweep=sweep,
+            fd_hz=fd, fe_hz=fe, fopt_hz=fe, fmax_ppw_loss=0.1,
+        )
+
+    def test_regimes(self):
+        assert self._case(2e9, 1.5e9).regime == "fD>fE"
+        assert self._case(1e9, 1.5e9).regime == "fD<=fE"
+        assert self._case(None, 1.5e9).regime == "fD<=fE"
+
+
+class TestTab03:
+    def test_misclassification_detection(self):
+        result = Tab03Result(
+            pages={"fast": (1.0, "low"), "slow": (2.5, "high")},
+            kernels={},
+        )
+        assert result.misclassified_pages(("fast",)) == []
+        assert result.misclassified_pages(("slow",)) == ["fast", "slow"]
+
+
+class TestRenderSmoke:
+    """Every result type renders to non-empty text."""
+
+    def test_fig01(self):
+        text = Fig01Result(
+            page_name="p", rows={1e9: (1.0, 1.1, 1.5, [1.1])},
+            deadlines_s=(2.0,),
+        ).render()
+        assert "1.00" in text
+
+    def test_fig06(self):
+        sweep = [FrequencyPrediction(1e9, 2.0, 2.0)]
+        text = Fig06Result(
+            page_name="p", kernel_name="k", sweep=sweep, fopt_hz=1e9,
+            below=None, above=(0.1, -0.1), error_margin=0.05,
+            tolerates_measured_errors=True, dora_ppw_regret=0.01,
+        ).render()
+        assert "fopt" in text and "--" in text
+
+    def test_fig10(self):
+        text = Fig10Result(
+            exhibit_label="a+b", dora_ppw=0.5, no_lkg_ppw=0.45,
+            dora_freqs_hz=(1.5e9,), no_lkg_freqs_hz=(1.7e9,),
+            power_curves={"warm": [FrequencyPrediction(1e9, 2.0, 2.0)]},
+            fe_by_ambient={"warm": 1e9},
+        ).render()
+        assert "+11.1%" in text  # 0.5 / 0.45
+
+    def test_fig11(self):
+        text = Fig11Result(
+            page_name="p", kernel_name="k",
+            choices={3.0: (2e9, 2.5), 6.0: (1e9, None)},
+        ).render()
+        assert "timeout" in text
+
+    def test_headline(self):
+        text = HeadlineResult(
+            mean_improvement=1.15, max_improvement=1.25,
+            min_improvement=1.0, inclusive_improvement=1.16,
+            neutral_improvement=1.12, time_accuracy=0.97,
+            power_accuracy=0.96, feasible_fraction=0.9,
+            dora_meets_when_feasible=1.0,
+        ).render()
+        assert "+15.0%" in text and "97.0%" in text
+
+    def test_overhead(self):
+        text = OverheadResult(
+            mean_switches_per_load=1.5,
+            max_switch_stall_fraction=0.001,
+            mean_switch_stall_fraction=0.0005,
+            mean_decision_cost_fraction=0.007,
+        ).render()
+        assert "1.5" in text
+
+    def test_decision_interval(self):
+        text = DecisionIntervalResult(
+            by_interval={0.05: (1.15, 0, 30.0), 0.1: (1.15, 0, 15.0)}
+        ).render()
+        assert "50 ms" in text
+
+    def test_interference_ablation(self):
+        text = InterferenceAblationResult(
+            blind_miss_fraction=0.3, aware_miss_fraction=0.05,
+            blind_bound_miss_fraction=0.6, aware_bound_miss_fraction=0.1,
+            blind_mean_ppw=1.1, aware_mean_ppw=1.15,
+        ).render()
+        assert "30.0%" in text
+
+    def test_piecewise_ablation(self):
+        text = PiecewiseAblationResult(
+            piecewise_time_error=0.03, global_time_error=0.12,
+            piecewise_power_error=0.03, global_power_error=0.07,
+        ).render()
+        assert "12.0%" in text
+
+    def test_extended_comparison(self):
+        text = ExtendedComparisonResult(
+            mean_ppw={"DORA": 1.15, "OfflineOpt": 1.16},
+            misses={"DORA": 5, "OfflineOpt": 5},
+            dora_vs_offline_gap=0.01,
+        ).render()
+        assert "OfflineOpt" in text
+
+    def test_qos_margin(self):
+        text = QosMarginResult(
+            by_margin={0.0: (1.16, 2), 0.05: (1.15, 0)},
+            feasible_count=49,
+        ).render()
+        assert "5%" in text

@@ -1,0 +1,73 @@
+"""Workload-suite construction tests (Section IV-B)."""
+
+import pytest
+
+from repro.browser.pages import page_names
+from repro.experiments.suite import (
+    NEUTRAL_PAGES,
+    all_combos,
+    combo_for,
+    inclusive_combos,
+    neutral_combos,
+    training_pages,
+)
+from repro.workloads.classification import MemoryIntensity
+from repro.workloads.kernels import kernel_by_name
+
+
+class TestMatrixShape:
+    def test_fifty_four_combinations(self):
+        assert len(all_combos()) == 54
+
+    def test_split_matches_the_paper(self):
+        assert len(inclusive_combos()) == 42
+        assert len(neutral_combos()) == 12
+
+    def test_fourteen_training_pages(self):
+        assert len(training_pages()) == 14
+        assert set(training_pages()) | set(NEUTRAL_PAGES) == set(page_names())
+
+    def test_neutral_pages_span_both_complexity_classes(self):
+        from repro.browser.pages import HIGH_INTENSITY_PAGES, LOW_INTENSITY_PAGES
+
+        assert set(NEUTRAL_PAGES) & set(LOW_INTENSITY_PAGES)
+        assert set(NEUTRAL_PAGES) & set(HIGH_INTENSITY_PAGES)
+
+    def test_every_page_gets_one_combo_per_intensity(self):
+        for page in page_names():
+            intensities = [
+                combo.intensity for combo in all_combos()
+                if combo.page_name == page
+            ]
+            assert sorted(i.value for i in intensities) == [
+                "high", "low", "medium",
+            ]
+
+    def test_every_kernel_appears_in_the_suite(self):
+        used = {combo.kernel_name for combo in all_combos()}
+        from repro.workloads.kernels import all_kernels
+
+        assert used == {kernel.name for kernel in all_kernels()}
+
+    def test_kernel_matches_declared_intensity(self):
+        for combo in all_combos():
+            assert (
+                kernel_by_name(combo.kernel_name).expected_intensity
+                is combo.intensity
+            )
+
+    def test_combo_lookup(self):
+        combo = combo_for("reddit", MemoryIntensity.HIGH)
+        assert combo.page_name == "reddit"
+        assert combo.intensity is MemoryIntensity.HIGH
+        with pytest.raises(KeyError):
+            combo_for("geocities", MemoryIntensity.LOW)
+
+    def test_labels_are_unique(self):
+        labels = [combo.label for combo in all_combos()]
+        assert len(set(labels)) == 54
+
+    def test_inclusive_flag_matches_training_pages(self):
+        train = set(training_pages())
+        for combo in all_combos():
+            assert combo.webpage_inclusive == (combo.page_name in train)

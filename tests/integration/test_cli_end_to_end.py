@@ -1,0 +1,87 @@
+"""CLI end-to-end tests against the small trained bundle.
+
+The heavy CLI paths (``run``, ``sweep``, ``train``) are driven with the
+session-scoped small predictor patched in, so the commands execute
+their full logic in seconds.
+"""
+
+import json
+
+import pytest
+
+import repro.api
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def small_bundle(monkeypatch, small_models):
+    """Route the CLI's model loading to the small campaign."""
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.setattr(repro.api, "default_trained_models", lambda config=None: small_models)
+    monkeypatch.setattr(
+        repro.api, "default_predictor", lambda config=None: small_models.predictor
+    )
+
+
+class TestRunCommand:
+    def test_run_prints_the_measurement(self, capsys):
+        code = main(["run", "amazon", "--kernel", "bfs", "--governor", "DORA"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "load time" in out
+        assert "PPW" in out
+        assert "met 3.0 s deadline" in out
+
+    def test_run_with_plain_governor(self, capsys):
+        code = main(["run", "amazon", "--governor", "performance"])
+        assert code == 0
+        assert "performance" in capsys.readouterr().out
+
+    def test_run_reports_misses(self, capsys):
+        code = main([
+            "run", "espn", "--kernel", "needleman-wunsch",
+            "--governor", "performance", "--deadline", "1.0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MISSED" in out
+
+
+class TestSweepCommand:
+    def test_sweep_prints_oracle_points(self, capsys):
+        code = main(["sweep", "msn", "--kernel", "bfs"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fE=" in out
+        assert "fopt=" in out
+        assert out.count("G ") >= 8  # eight evaluation frequencies
+
+
+class TestTrainCommand:
+    def test_train_saves_a_loadable_bundle(self, capsys, tmp_path):
+        target = tmp_path / "bundle.json"
+        code = main(["train", "--output", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accuracy" in out
+        data = json.loads(target.read_text())
+        assert data["format"] == "repro-dora-models"
+
+        from repro.models.serialization import load_predictor
+
+        predictor = load_predictor(target)
+        assert len(predictor.candidates()) == 8
+
+
+class TestFiguresCommand:
+    def test_fig05_renders_and_exports(self, capsys, tmp_path):
+        code = main(["figures", "--only", "fig05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "surface selection" in out
+
+    def test_characterize_command_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["characterize"])
+        assert callable(args.func)

@@ -1,0 +1,128 @@
+"""End-to-end integration: campaign -> models -> DORA -> evaluation.
+
+Uses the session-scoped small campaign (3 pages, 4 frequencies) so the
+whole pipeline runs in seconds while still exercising every layer:
+page generation, the engine, counter sampling, model training, and the
+online governor loop.
+"""
+
+import pytest
+
+from repro.experiments.harness import (
+    HarnessConfig,
+    frequency_sweep,
+    make_governor,
+    oracle_points,
+    run_workload,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+class TestDoraEndToEnd:
+    def test_dora_meets_a_comfortably_feasible_deadline(
+        self, small_predictor, fast_config
+    ):
+        governor = make_governor("DORA", small_predictor, fast_config)
+        result = run_workload("amazon", "bfs", governor, fast_config)
+        assert result.load_time_s is not None
+        assert result.load_time_s <= fast_config.deadline_s
+
+    def test_dora_beats_performance_governor_on_an_easy_page(
+        self, small_predictor, fast_config
+    ):
+        """For a fast page the deadline is slack, so DORA ~ fE and must
+        beat pinning fmax on energy efficiency."""
+        dora = run_workload(
+            "amazon",
+            "kmeans",
+            make_governor("DORA", small_predictor, fast_config),
+            fast_config,
+        )
+        pinned = run_workload(
+            "amazon",
+            "kmeans",
+            make_governor("performance", None, fast_config),
+            fast_config,
+        )
+        assert dora.ppw > pinned.ppw * 1.05
+
+    def test_dora_runs_below_fmax_when_the_deadline_allows(
+        self, small_predictor, fast_config
+    ):
+        governor = make_governor("DORA", small_predictor, fast_config)
+        result = run_workload("amazon", "kmeans", governor, fast_config)
+        chosen = set(result.decisions.frequencies_hz)
+        assert max(chosen) < fast_config.device.spec.max_state.freq_hz
+
+    def test_dora_escalates_on_a_heavy_page(self, small_predictor, fast_config):
+        """espn is deadline-bound: DORA must choose a high setting."""
+        governor = make_governor("DORA", small_predictor, fast_config)
+        result = run_workload("espn", "backprop", governor, fast_config)
+        assert result.decisions.frequencies_hz[-1] >= 1.7e9
+
+    def test_dora_reacts_to_interference_within_a_load(
+        self, small_predictor, fast_config
+    ):
+        """The first decision is made blind; once counters show the
+        co-runner, predictions (and possibly fopt) incorporate it."""
+        governor = make_governor("DORA", small_predictor, fast_config)
+        run_workload("msn", "needleman-wunsch", governor, fast_config)
+        observed_mpki = [
+            point.load_time_s for point in governor.last_table
+        ]
+        assert governor.last_fopt_hz > 0
+        assert len(observed_mpki) == len(small_predictor.candidates())
+
+
+class TestOracleConsistency:
+    def test_measured_sweep_supports_oracle_extraction(self, fast_config):
+        sweep = frequency_sweep("msn", "bfs", fast_config)
+        assert len(sweep) == 8
+        oracle = oracle_points(sweep, fast_config.deadline_s)
+        assert oracle.fd_hz is not None
+        assert oracle.fd_hz <= oracle.fopt_hz or oracle.fd_hz == oracle.fopt_hz
+
+    def test_fe_run_matches_the_sweep_point(self, fast_config):
+        from repro.core.governors import FixedFrequencyGovernor
+        from repro.core.ppw import find_fe
+
+        sweep = frequency_sweep("msn", "bfs", fast_config)
+        fe = find_fe(sweep)
+        rerun = run_workload(
+            "msn",
+            "bfs",
+            FixedFrequencyGovernor(freq_hz=fe.freq_hz, label="fE"),
+            fast_config,
+        )
+        assert rerun.load_time_s == pytest.approx(fe.load_time_s, rel=1e-6)
+
+
+class TestGovernorRanking:
+    """The paper's qualitative ordering on one deadline-slack combo."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, small_predictor, fast_config):
+        results = {}
+        for name in ("interactive", "performance", "EE", "DORA"):
+            predictor = None if name in ("interactive", "performance") else small_predictor
+            governor = make_governor(name, predictor, fast_config)
+            results[name] = run_workload("amazon", "srad2", governor, fast_config)
+        return results
+
+    def test_everyone_finishes(self, runs):
+        assert all(r.load_time_s is not None for r in runs.values())
+
+    def test_performance_is_fastest(self, runs):
+        fastest = min(runs.values(), key=lambda r: r.load_time_s)
+        assert runs["performance"].load_time_s == fastest.load_time_s
+
+    def test_dora_and_ee_beat_the_baselines(self, runs):
+        assert runs["DORA"].ppw > runs["interactive"].ppw
+        assert runs["EE"].ppw > runs["performance"].ppw
+
+    def test_dora_matches_ee_when_deadline_is_slack(self, runs):
+        assert runs["DORA"].ppw == pytest.approx(runs["EE"].ppw, rel=0.10)

@@ -1,0 +1,89 @@
+"""Portability: the whole pipeline on a re-parametrized platform.
+
+The paper's claim: "the insights and the DORA frequency governor ...
+are also applicable to other smartphone platforms with
+re-parametrization."  Everything above the :class:`PlatformSpec`
+interface must therefore run unchanged against a different SoC
+description -- here, a hypothetical six-core part with a 10-state
+ladder and a three-band bus mapping.
+"""
+
+import pytest
+
+from repro.models.training import TrainingConfig, run_campaign, train_models
+from repro.experiments.harness import HarnessConfig, make_governor, run_workload
+from repro.soc.device import DeviceConfig
+from repro.soc.specs import generic_hexcore_spec
+
+
+@pytest.fixture(scope="module")
+def hexcore_device():
+    return DeviceConfig(spec=generic_hexcore_spec())
+
+
+@pytest.fixture(scope="module")
+def hexcore_models(hexcore_device):
+    config = TrainingConfig(
+        pages=("amazon", "msn", "espn"),
+        freqs_hz=(600e6, 1000e6, 1500e6, 2100e6, 2600e6),
+        dt_s=0.004,
+        seed=21,
+    )
+    observations = run_campaign(config, device_config=hexcore_device)
+    return train_models(observations, device_config=hexcore_device)
+
+
+@pytest.fixture(scope="module")
+def hexcore_config(hexcore_device):
+    return HarnessConfig(dt_s=0.004, device=hexcore_device)
+
+
+class TestPortability:
+    def test_campaign_trains_on_the_new_platform(self, hexcore_models):
+        assert len(hexcore_models.observations) == 3 * 4 * 5
+        # Piecewise structure follows the *new* bus mapping.
+        segments = hexcore_models.load_time_model.surfaces.segments
+        assert set(segments) <= {300e6, 600e6, 933e6}
+        assert len(segments) >= 2
+
+    def test_predictor_sweeps_the_new_evaluation_ladder(self, hexcore_models):
+        candidates = hexcore_models.predictor.candidates()
+        assert len(candidates) == 7
+        assert max(candidates) == pytest.approx(2600e6)
+
+    def test_dora_meets_the_deadline_on_the_new_platform(
+        self, hexcore_models, hexcore_config
+    ):
+        governor = make_governor("DORA", hexcore_models.predictor, hexcore_config)
+        result = run_workload("amazon", "bfs", governor, hexcore_config)
+        assert result.load_time_s is not None
+        assert result.load_time_s <= hexcore_config.deadline_s
+
+    def test_dora_beats_interactive_on_a_slack_workload(
+        self, hexcore_models, hexcore_config
+    ):
+        dora = run_workload(
+            "amazon",
+            "kmeans",
+            make_governor("DORA", hexcore_models.predictor, hexcore_config),
+            hexcore_config,
+        )
+        baseline = run_workload(
+            "amazon",
+            "kmeans",
+            make_governor("interactive", None, hexcore_config),
+            hexcore_config,
+        )
+        assert dora.ppw > baseline.ppw * 1.03
+
+    def test_dora_runs_interior_frequencies(self, hexcore_models, hexcore_config):
+        governor = make_governor("DORA", hexcore_models.predictor, hexcore_config)
+        result = run_workload("msn", "srad2", governor, hexcore_config)
+        chosen = set(result.decisions.frequencies_hz)
+        assert chosen  # made decisions
+        assert max(chosen) < 2600e6  # not pinned at fmax
+
+    def test_leakage_fit_adapts_to_the_new_voltage_ladder(self, hexcore_models):
+        # The fitted model covers the platform's wider voltage range.
+        prediction = hexcore_models.leakage_model.predict(1.16, 60.0)
+        assert prediction > hexcore_models.leakage_model.predict(0.78, 60.0)

@@ -1,0 +1,88 @@
+"""Table-I feature vector tests."""
+
+import numpy as np
+import pytest
+
+from repro.browser.dom import PageFeatures
+from repro.models.features import (
+    NUM_FEATURES,
+    TABLE_I_NAMES,
+    IndependentVariables,
+    stack,
+)
+
+
+def _row(**overrides):
+    defaults = dict(
+        dom_nodes=1000.0,
+        class_attributes=100.0,
+        href_attributes=200.0,
+        a_tags=190.0,
+        div_tags=80.0,
+        l2_mpki=5.0,
+        core_freq_ghz=1.5,
+        bus_freq_mhz=533.0,
+        corunner_utilization=1.0,
+    )
+    defaults.update(overrides)
+    return IndependentVariables(**defaults)
+
+
+class TestLayout:
+    def test_nine_variables_as_in_table_one(self):
+        assert NUM_FEATURES == 9
+        assert len(TABLE_I_NAMES) == 9
+
+    def test_array_follows_table_one_order(self):
+        array = _row().as_array()
+        assert array.shape == (9,)
+        assert array[0] == 1000.0  # X1 DOM nodes
+        assert array[5] == 5.0  # X6 MPKI
+        assert array[6] == 1.5  # X7 core frequency
+        assert array[7] == 533.0  # X8 bus frequency
+        assert array[8] == 1.0  # X9 co-runner utilization
+
+    def test_build_from_census(self):
+        census = PageFeatures(500, 50, 90, 85, 40)
+        row = IndependentVariables.build(
+            page=census,
+            l2_mpki=2.0,
+            core_freq_hz=1190.4e6,
+            bus_freq_hz=400e6,
+            corunner_utilization=0.8,
+        )
+        assert row.dom_nodes == 500.0
+        assert row.core_freq_ghz == pytest.approx(1.1904)
+        assert row.bus_freq_mhz == pytest.approx(400.0)
+
+    def test_stack_shapes(self):
+        matrix = stack([_row(), _row(dom_nodes=2.0)])
+        assert matrix.shape == (2, 9)
+        assert matrix[1, 0] == 2.0
+
+    def test_stack_rejects_empty(self):
+        with pytest.raises(ValueError):
+            stack([])
+
+    def test_replacing_creates_modified_copy(self):
+        row = _row()
+        blind = row.replacing(l2_mpki=0.0, corunner_utilization=0.0)
+        assert blind.l2_mpki == 0.0
+        assert row.l2_mpki == 5.0
+        assert blind.dom_nodes == row.dom_nodes
+
+
+class TestValidation:
+    def test_non_positive_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            _row(core_freq_ghz=0.0)
+        with pytest.raises(ValueError):
+            _row(bus_freq_mhz=-1.0)
+
+    def test_negative_mpki_rejected(self):
+        with pytest.raises(ValueError):
+            _row(l2_mpki=-0.1)
+
+    def test_utilization_bounds(self):
+        with pytest.raises(ValueError):
+            _row(corunner_utilization=1.2)

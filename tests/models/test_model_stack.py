@@ -1,0 +1,205 @@
+"""Piecewise surfaces, leakage fit, and the prediction bundle."""
+
+import numpy as np
+import pytest
+
+from repro.browser.dom import PageFeatures
+from repro.models.features import IndependentVariables
+from repro.models.leakage_fit import (
+    LeakageSample,
+    calibration_samples,
+    fit_leakage,
+)
+from repro.models.performance_model import (
+    MIN_PREDICTED_LOAD_TIME_S,
+    PiecewiseLoadTimeModel,
+)
+from repro.models.piecewise import PiecewiseSurface
+from repro.models.power_model import MIN_PREDICTED_POWER_W, DynamicPowerModel
+from repro.models.regression import ResponseSurface
+from repro.soc.leakage import nexus5_leakage_parameters
+from repro.soc.specs import nexus5_spec
+
+
+def _row(freq_ghz, bus_mhz, mpki=0.0, nodes=1000.0):
+    return IndependentVariables(
+        dom_nodes=nodes,
+        class_attributes=nodes * 0.1,
+        href_attributes=nodes * 0.2,
+        a_tags=nodes * 0.19,
+        div_tags=nodes * 0.08,
+        l2_mpki=mpki,
+        core_freq_ghz=freq_ghz,
+        bus_freq_mhz=bus_mhz,
+        corunner_utilization=1.0 if mpki > 0 else 0.0,
+    )
+
+
+def _synthetic_dataset():
+    """Rows over two bus groups with a known piecewise response."""
+    rows = []
+    targets = []
+    for bus, freqs in ((400.0, (0.88, 0.96, 1.19)), (800.0, (1.96, 2.27))):
+        for freq in freqs:
+            for mpki in (0.0, 4.0, 10.0):
+                for nodes in (500.0, 2000.0, 5000.0):
+                    rows.append(_row(freq, bus, mpki, nodes))
+                    base = 40.0 if bus == 400.0 else 55.0
+                    targets.append(
+                        nodes * (1.0 + 0.05 * mpki) / (freq * 1e3) + base / 1e3
+                    )
+    return rows, targets
+
+
+class TestPiecewiseSurface:
+    def test_routes_rows_to_their_bus_group(self):
+        rows, targets = _synthetic_dataset()
+        surface = PiecewiseSurface.fit(rows, targets, ResponseSurface.INTERACTION)
+        assert set(surface.segments) == {400e6, 800e6}
+
+    def test_fits_each_group_well(self):
+        rows, targets = _synthetic_dataset()
+        surface = PiecewiseSurface.fit(rows, targets, ResponseSurface.INTERACTION)
+        predictions = np.array([surface.predict(row) for row in rows])
+        rel = np.abs(predictions - np.array(targets)) / np.array(targets)
+        assert rel.mean() < 0.05
+
+    def test_unseen_bus_frequency_falls_back_to_nearest(self):
+        rows, targets = _synthetic_dataset()
+        surface = PiecewiseSurface.fit(rows, targets, ResponseSurface.LINEAR)
+        segment = surface.segment_for(533e6)
+        assert segment is surface.segments[400e6]
+
+    def test_mismatched_lengths_rejected(self):
+        rows, targets = _synthetic_dataset()
+        with pytest.raises(ValueError):
+            PiecewiseSurface.fit(rows, targets[:-1], ResponseSurface.LINEAR)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseSurface.fit([], [], ResponseSurface.LINEAR)
+
+    def test_relative_weighting_requires_positive_targets(self):
+        rows, _ = _synthetic_dataset()
+        with pytest.raises(ValueError):
+            PiecewiseSurface.fit(
+                rows, [0.0] * len(rows), ResponseSurface.LINEAR
+            )
+
+
+class TestModelFloors:
+    def test_load_time_prediction_is_floored(self):
+        rows, _ = _synthetic_dataset()
+        model = PiecewiseLoadTimeModel.fit(
+            rows, [MIN_PREDICTED_LOAD_TIME_S] * len(rows)
+        )
+        extreme = _row(2.27, 800.0, mpki=0.0, nodes=1.0)
+        assert model.predict(extreme) >= MIN_PREDICTED_LOAD_TIME_S
+
+    def test_power_prediction_is_floored(self):
+        rows, _ = _synthetic_dataset()
+        model = DynamicPowerModel.fit(rows, [MIN_PREDICTED_POWER_W] * len(rows))
+        extreme = _row(0.88, 400.0, mpki=0.0, nodes=1.0)
+        assert model.predict(extreme) >= MIN_PREDICTED_POWER_W
+
+    def test_predict_many_matches_predict(self):
+        rows, targets = _synthetic_dataset()
+        model = PiecewiseLoadTimeModel.fit(rows, targets)
+        many = model.predict_many(rows[:5])
+        singles = [model.predict(row) for row in rows[:5]]
+        assert np.allclose(many, singles)
+
+
+class TestLeakageFit:
+    def test_recovers_the_true_surface_from_clean_data(self):
+        truth = nexus5_leakage_parameters()
+        samples = calibration_samples(
+            truth,
+            voltages=[0.80, 0.90, 1.00, 1.10, 1.15],
+            temperatures_c=[20, 35, 50, 65, 80],
+            rng=None,
+        )
+        fitted = fit_leakage(samples)
+        for sample in samples:
+            assert fitted.predict(
+                sample.voltage_v, sample.temperature_c
+            ) == pytest.approx(sample.leakage_w, rel=0.02)
+
+    def test_noisy_fit_stays_accurate(self):
+        truth = nexus5_leakage_parameters()
+        rng = np.random.default_rng(5)
+        samples = calibration_samples(
+            truth,
+            voltages=[s.voltage_v for s in ()]
+            or sorted({st.voltage_v for st in nexus5_spec().dvfs_table}),
+            temperatures_c=[20, 30, 40, 50, 60, 70, 80],
+            rng=rng,
+            noise=0.02,
+        )
+        fitted = fit_leakage(samples)
+        probe = truth.power_w(1.0, 55.0)
+        assert fitted.predict(1.0, 55.0) == pytest.approx(probe, rel=0.05)
+        assert fitted.rms_error_w < 0.05
+
+    def test_too_few_samples_rejected(self):
+        samples = [LeakageSample(1.0, 50.0, 0.5)] * 5
+        with pytest.raises(ValueError):
+            fit_leakage(samples)
+
+    def test_negative_observation_rejected(self):
+        samples = [LeakageSample(1.0, 50.0, -0.1)] * 7
+        with pytest.raises(ValueError):
+            fit_leakage(samples)
+
+    def test_fitted_parameters_stay_physical(self):
+        truth = nexus5_leakage_parameters()
+        samples = calibration_samples(
+            truth, voltages=[0.8, 1.0, 1.15], temperatures_c=[20, 50, 80],
+            rng=np.random.default_rng(1),
+        )
+        fitted = fit_leakage(samples)
+        assert fitted.parameters.k1 >= 0
+        assert fitted.parameters.k2 >= 0
+
+
+class TestPredictor:
+    @pytest.fixture(scope="class")
+    def predictor(self, small_models):
+        return small_models.predictor
+
+    def _census(self):
+        return PageFeatures(1500, 150, 300, 280, 120)
+
+    def test_table_covers_the_evaluation_candidates(self, predictor):
+        table = predictor.prediction_table(self._census(), 5.0, 1.0, 50.0)
+        assert len(table) == len(predictor.candidates())
+        assert [p.freq_hz for p in table] == list(predictor.candidates())
+
+    def test_predictions_are_positive(self, predictor):
+        table = predictor.prediction_table(self._census(), 0.0, 0.0, 45.0)
+        for point in table:
+            assert point.load_time_s > 0
+            assert point.power_w > 0
+
+    def test_interference_raises_predicted_load_time(self, predictor):
+        quiet = predictor.predict_at(self._census(), 0.0, 0.0, 48.0, 2265.6e6)
+        noisy = predictor.predict_at(self._census(), 10.0, 1.0, 48.0, 2265.6e6)
+        assert noisy.load_time_s > quiet.load_time_s
+
+    def test_leakage_inclusion_raises_power(self, predictor):
+        with_leak = predictor.predict_at(
+            self._census(), 0.0, 0.0, 60.0, 2265.6e6, include_leakage=True
+        )
+        without = predictor.predict_at(
+            self._census(), 0.0, 0.0, 60.0, 2265.6e6, include_leakage=False
+        )
+        assert with_leak.power_w > without.power_w
+
+    def test_hotter_device_predicts_more_power(self, predictor):
+        cool = predictor.predict_at(self._census(), 0.0, 0.0, 35.0, 2265.6e6)
+        hot = predictor.predict_at(self._census(), 0.0, 0.0, 70.0, 2265.6e6)
+        assert hot.power_w > cool.power_w
+
+    def test_unknown_candidate_frequency_rejected(self, predictor):
+        with pytest.raises(KeyError):
+            predictor.predict_at(self._census(), 0.0, 0.0, 45.0, 1.0e9)

@@ -1,0 +1,58 @@
+"""Trained-predictor invariants against the small campaign.
+
+These check the *direction* of the learned response surfaces -- the
+properties Algorithm 1's correctness rests on -- rather than absolute
+accuracy (covered elsewhere).
+"""
+
+import pytest
+
+from repro.browser.pages import page_by_name
+
+
+@pytest.fixture(scope="module")
+def census():
+    return page_by_name("msn").features
+
+
+class TestLearnedDirections:
+    def test_predicted_load_falls_from_fmin_to_fmax(self, small_predictor, census):
+        table = small_predictor.prediction_table(census, 3.0, 1.0, 50.0)
+        assert table[-1].load_time_s < table[0].load_time_s
+
+    def test_predicted_power_rises_from_fmin_to_fmax(self, small_predictor, census):
+        table = small_predictor.prediction_table(census, 3.0, 1.0, 50.0)
+        assert table[-1].power_w > table[0].power_w
+
+    def test_predicted_ppw_has_an_interior_maximum(self, small_predictor, census):
+        table = small_predictor.prediction_table(census, 3.0, 1.0, 50.0)
+        ppws = [p.ppw for p in table]
+        best = ppws.index(max(ppws))
+        assert 0 < best < len(ppws) - 1
+
+    def test_interference_slows_every_candidate(self, small_predictor, census):
+        quiet = small_predictor.prediction_table(census, 0.0, 0.0, 50.0)
+        noisy = small_predictor.prediction_table(census, 10.0, 1.0, 50.0)
+        slower = sum(
+            1 for q, n in zip(quiet, noisy) if n.load_time_s > q.load_time_s
+        )
+        # The learned interference effect points the right way at
+        # (nearly) every operating point.
+        assert slower >= len(quiet) - 1
+
+    def test_bigger_pages_predict_longer_loads(self, small_predictor):
+        small = page_by_name("amazon").features
+        large = page_by_name("espn").features
+        fast = small_predictor.predict_at(small, 0.0, 0.0, 50.0, 2265.6e6)
+        slow = small_predictor.predict_at(large, 0.0, 0.0, 50.0, 2265.6e6)
+        assert slow.load_time_s > fast.load_time_s
+
+    def test_candidate_override_is_respected(self, small_models):
+        from dataclasses import replace
+
+        predictor = replace(
+            small_models.predictor, candidate_freqs_hz=(960e6, 2265.6e6)
+        )
+        census = page_by_name("msn").features
+        table = predictor.prediction_table(census, 0.0, 0.0, 50.0)
+        assert [p.freq_hz for p in table] == [960e6, 2265.6e6]

@@ -1,0 +1,83 @@
+"""Cross-validated surface-selection tests (on the small campaign)."""
+
+import pytest
+
+from repro.models.regression import ResponseSurface
+from repro.models.selection import (
+    cross_validate_load_time,
+    cross_validate_power,
+    select_surfaces,
+)
+
+
+class TestCrossValidation:
+    def test_scores_are_finite_and_ordered(self, small_models):
+        score = cross_validate_load_time(
+            small_models.observations, ResponseSurface.INTERACTION
+        )
+        assert 0.0 <= score.in_sample_error < 0.5
+        assert score.held_out_error >= 0.0
+        assert score.worst_page_error >= score.held_out_error
+
+    def test_held_out_error_exceeds_in_sample(self, small_models):
+        score = cross_validate_load_time(
+            small_models.observations, ResponseSurface.INTERACTION
+        )
+        assert score.held_out_error >= score.in_sample_error * 0.5
+
+    def test_linear_load_time_is_clearly_worse_in_sample(self, small_models):
+        linear = cross_validate_load_time(
+            small_models.observations, ResponseSurface.LINEAR
+        )
+        interaction = cross_validate_load_time(
+            small_models.observations, ResponseSurface.INTERACTION
+        )
+        assert linear.in_sample_error > interaction.in_sample_error
+
+    def test_power_cv_runs(self, small_models):
+        score = cross_validate_power(
+            small_models.observations,
+            ResponseSurface.LINEAR,
+            small_models.leakage_model,
+        )
+        assert score.in_sample_error < 0.10
+
+    def test_needs_at_least_three_pages(self, small_models):
+        two_pages = [
+            o
+            for o in small_models.observations
+            if o.page_name in ("amazon", "msn")
+        ]
+        with pytest.raises(ValueError):
+            cross_validate_load_time(two_pages, ResponseSurface.LINEAR)
+
+
+class TestSelection:
+    def test_selection_prefers_simpler_surfaces_on_ties(self, small_models):
+        """On the 3-page campaign every family extrapolates about
+        equally to a held-out page, so the simplicity tie-break rules:
+        both picks must be the simplest surface within one point of the
+        best.  (The paper-scale selection -- interaction for load time
+        -- is asserted by the Fig. 5 benchmark on the full campaign.)
+        """
+        time_pick, power_pick = select_surfaces(
+            small_models.observations, small_models.leakage_model
+        )
+        assert power_pick.surface is ResponseSurface.LINEAR
+        time_scores = {
+            surface: cross_validate_load_time(
+                small_models.observations, surface
+            ).held_out_error
+            for surface in ResponseSurface
+        }
+        best = min(time_scores.values())
+        assert time_scores[time_pick.surface] <= best + 0.01
+        # The pick is the *simplest* qualifying surface.
+        for surface in (
+            ResponseSurface.LINEAR,
+            ResponseSurface.INTERACTION,
+            ResponseSurface.QUADRATIC,
+        ):
+            if time_scores[surface] <= best + 0.01:
+                assert time_pick.surface is surface
+                break

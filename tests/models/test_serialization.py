@@ -1,0 +1,65 @@
+"""Model persistence round-trip tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.browser.dom import PageFeatures
+from repro.models.serialization import (
+    load_predictor,
+    predictor_from_dict,
+    predictor_to_dict,
+    save_predictor,
+)
+
+
+@pytest.fixture()
+def census():
+    return PageFeatures(1500, 150, 300, 280, 120)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_predictions(self, small_predictor, census):
+        data = predictor_to_dict(small_predictor)
+        rebuilt = predictor_from_dict(data)
+        original = small_predictor.prediction_table(census, 5.0, 1.0, 55.0)
+        restored = rebuilt.prediction_table(census, 5.0, 1.0, 55.0)
+        for a, b in zip(original, restored):
+            assert a.freq_hz == b.freq_hz
+            assert a.load_time_s == pytest.approx(b.load_time_s, rel=1e-12)
+            assert a.power_w == pytest.approx(b.power_w, rel=1e-12)
+
+    def test_file_round_trip(self, small_predictor, census, tmp_path):
+        path = tmp_path / "models.json"
+        save_predictor(small_predictor, path)
+        rebuilt = load_predictor(path)
+        point = rebuilt.predict_at(census, 0.0, 0.0, 48.0, 2265.6e6)
+        expected = small_predictor.predict_at(census, 0.0, 0.0, 48.0, 2265.6e6)
+        assert point.load_time_s == pytest.approx(expected.load_time_s)
+
+    def test_artifact_is_plain_json(self, small_predictor, tmp_path):
+        path = tmp_path / "models.json"
+        save_predictor(small_predictor, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-dora-models"
+        assert "load_time_model" in data
+        assert "leakage" in data
+
+
+class TestValidation:
+    def test_foreign_artifact_rejected(self):
+        with pytest.raises(ValueError, match="not a repro"):
+            predictor_from_dict({"format": "something-else"})
+
+    def test_future_version_rejected(self, small_predictor):
+        data = predictor_to_dict(small_predictor)
+        data["version"] = 999
+        with pytest.raises(ValueError, match="newer"):
+            predictor_from_dict(data)
+
+    def test_platform_mismatch_rejected(self, small_predictor):
+        data = predictor_to_dict(small_predictor)
+        data["platform"] = "pixel-9000"
+        with pytest.raises(ValueError, match="trained for"):
+            predictor_from_dict(data)

@@ -1,0 +1,90 @@
+"""Measurement campaign and training pipeline tests.
+
+Uses the session-scoped small campaign (three pages, four frequencies)
+so the whole file runs in seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.training import (
+    TrainingConfig,
+    error_cdf,
+    measure_once,
+    overall_accuracy,
+    page_error_summary,
+    run_campaign,
+    train_models,
+)
+from tests.conftest import SMALL_TRAINING
+
+
+class TestCampaign:
+    def test_observation_count(self, small_models):
+        """3 pages x (3 co-runners + solo) x 4 frequencies."""
+        assert len(small_models.observations) == 3 * 4 * 4
+
+    def test_observations_carry_measured_interference(self, small_models):
+        corun = [o for o in small_models.observations if o.kernel_name]
+        solo = [o for o in small_models.observations if o.kernel_name is None]
+        assert all(o.row.l2_mpki > 0 for o in corun)
+        assert all(o.row.l2_mpki == 0 for o in solo)
+        assert all(o.row.corunner_utilization > 0.9 for o in corun)
+
+    def test_observations_span_the_requested_frequencies(self, small_models):
+        freqs = {round(o.freq_hz) for o in small_models.observations}
+        assert freqs == {round(f) for f in SMALL_TRAINING.freqs_hz}
+
+    def test_noise_makes_repeat_measurements_differ(self):
+        config = TrainingConfig(dt_s=0.004, seed=1)
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(2)
+        first = measure_once("amazon", "bfs", 2265.6e6, rng_a, config)
+        second = measure_once("amazon", "bfs", 2265.6e6, rng_b, config)
+        assert first.load_time_s != second.load_time_s
+
+    def test_campaign_is_seed_deterministic(self):
+        config = TrainingConfig(
+            pages=("amazon",), freqs_hz=(2265.6e6,), dt_s=0.004, seed=11
+        )
+        first = run_campaign(config)
+        second = run_campaign(config)
+        assert [o.load_time_s for o in first] == [o.load_time_s for o in second]
+
+
+class TestTraining:
+    def test_training_requires_observations(self):
+        with pytest.raises(ValueError):
+            train_models([])
+
+    def test_predictor_is_wired_with_all_models(self, small_models):
+        predictor = small_models.predictor
+        assert predictor.load_time_model is small_models.load_time_model
+        assert predictor.power_model is small_models.power_model
+        assert predictor.leakage_model is small_models.leakage_model
+
+    def test_small_campaign_models_are_usably_accurate(self, small_models):
+        time_acc, power_acc = overall_accuracy(small_models)
+        assert time_acc > 0.90
+        assert power_acc > 0.90
+
+    def test_page_error_summary_covers_training_pages(self, small_models):
+        summary = page_error_summary(small_models)
+        assert set(summary) == set(SMALL_TRAINING.pages)
+        for time_error, power_error in summary.values():
+            assert 0.0 <= time_error < 0.2
+            assert 0.0 <= power_error < 0.2
+
+
+class TestErrorCdf:
+    def test_cdf_is_sorted_and_ends_at_one(self):
+        cdf = error_cdf([0.05, 0.01, 0.03])
+        errors = [point[0] for point in cdf]
+        fractions = [point[1] for point in cdf]
+        assert errors == sorted(errors)
+        assert fractions[-1] == 1.0
+        assert fractions[0] == pytest.approx(1 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_cdf([])

@@ -1,0 +1,119 @@
+"""Trace-analysis tests."""
+
+import pytest
+
+from repro.browser.browser import browser_tasks
+from repro.browser.pages import page_by_name
+from repro.core.governors import FixedFrequencyGovernor
+from repro.sim.analysis import (
+    energy_breakdown,
+    frequency_timeline,
+    phase_breakdown,
+    summarize_run,
+)
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.governor import RunContext
+from repro.sim.trace import Trace
+from repro.soc.device import Device
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    device = Device()
+    page = page_by_name("msn")
+    tasks = browser_tasks(page).as_list()
+    governor = FixedFrequencyGovernor(
+        freq_hz=device.spec.max_state.freq_hz, label="fixed"
+    )
+    engine = Engine(
+        device=device,
+        tasks=tasks,
+        governor=governor,
+        context=RunContext(spec=device.spec, page_features=page.features),
+        config=EngineConfig(dt_s=0.002),
+    )
+    return engine.run()
+
+
+MAIN = "browser-main:msn"
+
+
+class TestEnergyBreakdown:
+    def test_components_sum_to_measured_energy(self, run_result):
+        breakdown = energy_breakdown(run_result.trace)
+        # Switch energy is charged separately from the trace integral.
+        assert breakdown.total_j == pytest.approx(
+            run_result.energy_j - run_result.switch_energy_j, rel=0.01
+        )
+
+    def test_all_components_positive(self, run_result):
+        breakdown = energy_breakdown(run_result.trace)
+        assert breakdown.core_dynamic_j > 0
+        assert breakdown.memory_j > 0
+        assert breakdown.leakage_j > 0
+        assert breakdown.rest_of_device_j > 0
+
+    def test_fractions_sum_to_one(self, run_result):
+        breakdown = energy_breakdown(run_result.trace)
+        total = sum(
+            breakdown.fraction(c)
+            for c in ("core_dynamic", "memory", "leakage", "rest_of_device")
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            energy_breakdown(Trace())
+
+
+class TestPhaseBreakdown:
+    def test_four_pipeline_phases_in_order(self, run_result):
+        phases = phase_breakdown(run_result, MAIN)
+        assert [p.name for p in phases] == ["parse", "style", "layout", "paint"]
+        starts = [p.start_s for p in phases]
+        assert starts == sorted(starts)
+
+    def test_durations_cover_the_load(self, run_result):
+        phases = phase_breakdown(run_result, MAIN)
+        assert sum(p.duration_s for p in phases) == pytest.approx(
+            run_result.load_time_s, abs=0.02
+        )
+
+    def test_phase_energies_are_positive_and_bounded(self, run_result):
+        phases = phase_breakdown(run_result, MAIN)
+        total = sum(p.energy_j for p in phases)
+        assert all(p.energy_j > 0 for p in phases)
+        assert total <= run_result.energy_j * 1.01
+
+    def test_mean_frequency_matches_fixed_run(self, run_result):
+        for phase in phase_breakdown(run_result, MAIN):
+            assert phase.mean_freq_hz == pytest.approx(2265.6e6)
+
+    def test_unknown_task_rejected(self, run_result):
+        with pytest.raises(ValueError):
+            phase_breakdown(run_result, "no-such-task")
+
+
+class TestFrequencyTimeline:
+    def test_fixed_run_has_one_entry(self, run_result):
+        timeline = frequency_timeline(run_result.trace)
+        assert len(timeline) == 1
+        assert timeline[0][1] == pytest.approx(2265.6e6)
+
+    def test_change_points_are_detected(self):
+        trace = Trace()
+        from repro.soc.power import PowerBreakdown
+
+        breakdown = PowerBreakdown(1.0, 0.1, 0.2, 0.9)
+        for time_s, freq in ((0.1, 1e9), (0.2, 1e9), (0.3, 2e9), (0.4, 1e9)):
+            trace.record(time_s, freq, breakdown, 50.0)
+        timeline = frequency_timeline(trace)
+        assert [f for _, f in timeline] == [1e9, 2e9, 1e9]
+
+
+class TestSummary:
+    def test_summary_mentions_the_key_numbers(self, run_result):
+        text = summarize_run(run_result, MAIN)
+        assert "load=" in text
+        assert "energy split" in text
+        assert "parse" in text

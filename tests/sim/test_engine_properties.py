@@ -1,0 +1,112 @@
+"""Property-based engine tests over randomized task sets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.governors import FixedFrequencyGovernor
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.governor import RunContext
+from repro.sim.task import Task, WorkPhase
+from repro.soc.device import Device
+from repro.soc.specs import nexus5_spec
+
+MIB = 1024 * 1024
+
+phase_strategy = st.builds(
+    WorkPhase,
+    name=st.just("phase"),
+    instructions=st.floats(5e6, 4e8),
+    cpi_base=st.floats(0.8, 2.0),
+    l2_apki=st.floats(0.0, 60.0),
+    solo_miss_ratio=st.floats(0.01, 0.4),
+    working_set_bytes=st.floats(0.1 * MIB, 16 * MIB),
+    mlp=st.floats(1.0, 2.5),
+    capacitance_f=st.floats(0.3e-9, 0.6e-9),
+)
+
+
+def _run(phases_per_task, freq_hz=2265.6e6, dt=0.004):
+    device = Device()
+    tasks = []
+    for core, phases in enumerate(phases_per_task):
+        tasks.append(
+            Task(
+                task_id=f"t{core}",
+                core=core,
+                phases=tuple(phases),
+                gating=(core == 0),
+            )
+        )
+    engine = Engine(
+        device=device,
+        tasks=tasks,
+        governor=FixedFrequencyGovernor(freq_hz=freq_hz, label="fixed"),
+        context=RunContext(spec=device.spec),
+        config=EngineConfig(dt_s=dt, max_time_s=30.0, record_trace=False),
+    )
+    return engine.run(), tasks
+
+
+class TestEngineInvariants:
+    @settings(max_examples=25)
+    @given(
+        phases=st.lists(phase_strategy, min_size=1, max_size=3),
+        rival=st.lists(phase_strategy, min_size=1, max_size=2),
+    )
+    def test_instruction_conservation(self, phases, rival):
+        """Every finished task retires exactly its phase budget."""
+        result, tasks = _run([phases, rival])
+        for task in tasks:
+            summary = result.task_summaries[task.task_id]
+            budget = sum(p.instructions for p in task.phases)
+            if task.finish_time_s is not None and task.task_id == "t0":
+                assert summary.instructions == pytest.approx(budget, rel=1e-9)
+            else:
+                # Relative tolerance: step-wise accumulation carries
+                # float rounding at the 1e-15 level.
+                assert summary.instructions <= budget * (1 + 1e-9) + 1e-6
+
+    @settings(max_examples=25)
+    @given(phases=st.lists(phase_strategy, min_size=1, max_size=3))
+    def test_energy_time_and_temperature_are_physical(self, phases):
+        result, _ = _run([phases])
+        assert result.energy_j > 0
+        assert result.duration_s > 0
+        assert result.avg_power_w > 0.5  # at least the device floor
+        ambient = Device().config.ambient.ambient_c
+        assert result.final_temperature_c > ambient
+        assert result.final_temperature_c < 120.0
+
+    @settings(max_examples=15)
+    @given(
+        phases=st.lists(phase_strategy, min_size=1, max_size=2),
+        freq_index=st.integers(0, 13),
+    )
+    def test_counters_match_summaries_at_any_frequency(self, phases, freq_index):
+        freq = nexus5_spec().frequencies_hz[freq_index]
+        result, tasks = _run([phases], freq_hz=freq)
+        summary = result.task_summaries["t0"]
+        # MPKI implied by accesses and misses is internally consistent.
+        if summary.l2_accesses > 0:
+            ratio = summary.l2_misses / summary.l2_accesses
+            assert 0.0 <= ratio <= 1.0
+        assert summary.busy_s <= result.duration_s + 1e-9
+
+    @settings(max_examples=10)
+    @given(phases=st.lists(phase_strategy, min_size=1, max_size=2))
+    def test_adding_a_rival_never_speeds_up_the_gating_task(self, phases):
+        solo, _ = _run([phases])
+        rival_phase = WorkPhase(
+            name="rival",
+            instructions=1e9,
+            cpi_base=1.0,
+            l2_apki=60.0,
+            solo_miss_ratio=0.15,
+            working_set_bytes=16 * MIB,
+            mlp=2.0,
+            capacitance_f=0.42e-9,
+        )
+        contended, _ = _run([phases, [rival_phase]])
+        if solo.load_time_s is not None and contended.load_time_s is not None:
+            assert contended.load_time_s >= solo.load_time_s - 1e-6

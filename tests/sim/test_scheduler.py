@@ -1,0 +1,51 @@
+"""Static core-assignment tests."""
+
+import pytest
+
+from repro.sim.scheduler import SchedulingError, plan
+from repro.sim.task import Task, WorkPhase
+
+
+def _phase():
+    return WorkPhase(
+        name="p", instructions=100.0, cpi_base=1.0, l2_apki=1.0,
+        solo_miss_ratio=0.1, working_set_bytes=1e6,
+    )
+
+
+def _task(task_id, core, **kwargs):
+    return Task(task_id=task_id, core=core, phases=(_phase(),), **kwargs)
+
+
+class TestPlan:
+    def test_valid_placement(self, spec):
+        tasks = [_task("a", 0, gating=True), _task("b", 1), _task("c", 2)]
+        result = plan(tasks, spec)
+        assert result.online_cores == (0, 1, 2)
+        assert result.gating_task_ids == ("a",)
+        assert result.tasks_by_core[1].task_id == "b"
+
+    def test_empty_task_set_rejected(self, spec):
+        with pytest.raises(SchedulingError):
+            plan([], spec)
+
+    def test_core_collision_rejected(self, spec):
+        with pytest.raises(SchedulingError, match="assigned twice"):
+            plan([_task("a", 0), _task("b", 0)], spec)
+
+    def test_out_of_range_core_rejected(self, spec):
+        with pytest.raises(SchedulingError, match="has 4 cores"):
+            plan([_task("a", 4)], spec)
+
+    def test_duplicate_task_id_rejected(self, spec):
+        with pytest.raises(SchedulingError, match="duplicate"):
+            plan([_task("a", 0), _task("a", 1)], spec)
+
+    def test_no_gating_task_is_allowed_for_bounded_runs(self, spec):
+        result = plan([_task("a", 2, looping=True)], spec)
+        assert result.gating_task_ids == ()
+
+    def test_fourth_core_can_stay_offline(self, spec):
+        """The paper powers core 3 off; a plan never requires it."""
+        result = plan([_task("a", 0, gating=True), _task("b", 1)], spec)
+        assert 3 not in result.online_cores

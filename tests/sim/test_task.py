@@ -1,0 +1,144 @@
+"""Phased-task state machine tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.task import Task, WorkPhase
+
+
+def _phase(name="p", instructions=100.0, **kwargs):
+    defaults = dict(
+        cpi_base=1.0,
+        l2_apki=5.0,
+        solo_miss_ratio=0.1,
+        working_set_bytes=1e6,
+    )
+    defaults.update(kwargs)
+    return WorkPhase(name=name, instructions=instructions, **defaults)
+
+
+def _task(phases=None, **kwargs):
+    return Task(
+        task_id=kwargs.pop("task_id", "t"),
+        core=kwargs.pop("core", 0),
+        phases=phases or (_phase("a", 100.0), _phase("b", 50.0)),
+        **kwargs,
+    )
+
+
+class TestAdvance:
+    def test_partial_progress_stays_in_phase(self):
+        task = _task()
+        retired = task.advance(60.0, now_s=0.1)
+        assert retired == 60.0
+        assert task.current_phase.name == "a"
+        assert not task.finished
+
+    def test_crossing_a_phase_boundary(self):
+        task = _task()
+        task.advance(120.0, now_s=0.1)
+        assert task.current_phase.name == "b"
+        assert task.instructions_done_in_phase == pytest.approx(20.0)
+
+    def test_finishing_stamps_time_and_truncates_budget(self):
+        task = _task()
+        retired = task.advance(1000.0, now_s=0.5)
+        assert retired == pytest.approx(150.0)
+        assert task.finished
+        assert task.finish_time_s == 0.5
+
+    def test_finished_task_retires_nothing(self):
+        task = _task()
+        task.advance(1000.0, now_s=0.5)
+        assert task.advance(10.0, now_s=0.6) == 0.0
+
+    def test_looping_task_wraps_and_counts_loops(self):
+        task = _task(phases=(_phase("a", 100.0),), looping=True)
+        task.advance(250.0, now_s=0.1)
+        assert not task.finished
+        assert task.loops_completed == 2
+        assert task.instructions_done_in_phase == pytest.approx(50.0)
+
+    def test_total_instructions_accumulates(self):
+        task = _task()
+        task.advance(60.0, now_s=0.1)
+        task.advance(60.0, now_s=0.2)
+        assert task.total_instructions == pytest.approx(120.0)
+
+    @given(budgets=st.lists(st.floats(0.1, 80.0), min_size=1, max_size=40))
+    def test_conservation_of_instructions(self, budgets):
+        task = _task()
+        total_capacity = sum(p.instructions for p in task.phases)
+        retired = sum(task.advance(b, now_s=0.0) for b in budgets)
+        assert retired <= total_capacity + 1e-9
+        assert retired == pytest.approx(
+            min(total_capacity, task.total_instructions), abs=1e-6
+        )
+
+    @given(budgets=st.lists(st.floats(0.1, 500.0), min_size=1, max_size=30))
+    def test_looping_task_never_finishes(self, budgets):
+        task = _task(phases=(_phase("a", 37.0), _phase("b", 13.0)), looping=True)
+        for budget in budgets:
+            task.advance(budget, now_s=0.0)
+        assert not task.finished
+
+
+class TestLifecycle:
+    def test_cancel_marks_finished_without_progress(self):
+        task = _task()
+        task.cancel(now_s=0.3)
+        assert task.finished
+        assert task.finish_time_s == 0.3
+
+    def test_cancel_after_finish_keeps_original_stamp(self):
+        task = _task()
+        task.advance(1000.0, now_s=0.5)
+        task.cancel(now_s=9.0)
+        assert task.finish_time_s == 0.5
+
+    def test_reset_restores_initial_state(self):
+        task = _task()
+        task.advance(1000.0, now_s=0.5)
+        task.reset()
+        assert not task.finished
+        assert task.phase_index == 0
+        assert task.total_instructions == 0.0
+
+    def test_progress_fraction(self):
+        task = _task()
+        assert task.progress_fraction() == 0.0
+        task.advance(75.0, now_s=0.1)
+        assert task.progress_fraction() == pytest.approx(0.5)
+        task.advance(1000.0, now_s=0.2)
+        assert task.progress_fraction() == 1.0
+
+
+class TestValidation:
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            Task(task_id="t", core=0, phases=())
+
+    def test_negative_core_rejected(self):
+        with pytest.raises(ValueError):
+            _task(core=-1)
+
+    def test_looping_gating_combination_rejected(self):
+        with pytest.raises(ValueError):
+            _task(looping=True, gating=True)
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            _phase(instructions=0.0)
+        with pytest.raises(ValueError):
+            _phase(cpi_base=0.0)
+        with pytest.raises(ValueError):
+            _phase(solo_miss_ratio=1.5)
+        with pytest.raises(ValueError):
+            _phase(mlp=0.9)
+        with pytest.raises(ValueError):
+            _phase(capacitance_f=-1.0)
+        with pytest.raises(ValueError):
+            _phase(l2_apki=-1.0)
+        with pytest.raises(ValueError):
+            _phase(working_set_bytes=-1.0)

@@ -1,0 +1,133 @@
+"""Trace recording and measurement-noise tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.measurement import (
+    Measurement,
+    _lognormal_factor,
+    observe,
+    percent_error,
+)
+from repro.sim.trace import Trace
+from repro.soc.power import PowerBreakdown
+
+
+def _breakdown(total=3.0):
+    return PowerBreakdown(
+        core_dynamic_w=total - 1.5,
+        memory_w=0.3,
+        leakage_w=0.3,
+        rest_of_device_w=0.9,
+    )
+
+
+class TestTrace:
+    def test_record_appends_parallel_series(self):
+        trace = Trace()
+        trace.record(0.1, 1e9, _breakdown(), 50.0)
+        trace.record(0.2, 2e9, _breakdown(), 51.0)
+        assert len(trace) == 2
+        assert trace.freqs_hz == [1e9, 2e9]
+        assert trace.soc_temperature_c == [50.0, 51.0]
+
+    def test_mean_power(self):
+        trace = Trace()
+        trace.record(0.1, 1e9, _breakdown(2.0), 50.0)
+        trace.record(0.2, 1e9, _breakdown(4.0), 50.0)
+        assert trace.mean_power_w() == pytest.approx(3.0)
+
+    def test_mean_power_truncated(self):
+        trace = Trace()
+        trace.record(0.1, 1e9, _breakdown(2.0), 50.0)
+        trace.record(0.2, 1e9, _breakdown(4.0), 50.0)
+        assert trace.mean_power_w(until_s=0.15) == pytest.approx(2.0)
+
+    def test_empty_trace_defaults(self):
+        trace = Trace()
+        assert trace.mean_power_w() == 0.0
+        assert trace.max_temperature_c() == 0.0
+        assert trace.frequency_residency() == {}
+
+    def test_frequency_residency_sums_to_one(self):
+        trace = Trace()
+        for freq in (1e9, 1e9, 2e9, 1e9):
+            trace.record(0.0, freq, _breakdown(), 50.0)
+        residency = trace.frequency_residency()
+        assert residency[1e9] == pytest.approx(0.75)
+        assert sum(residency.values()) == pytest.approx(1.0)
+
+    def test_max_temperature(self):
+        trace = Trace()
+        trace.record(0.1, 1e9, _breakdown(), 50.0)
+        trace.record(0.2, 1e9, _breakdown(), 62.0)
+        assert trace.max_temperature_c() == 62.0
+
+
+class _FakeResult:
+    """Minimal stand-in for RunResult in measurement tests."""
+
+    def __init__(self, load=1.0, power=3.0, duration=1.0):
+        self.load_time_s = load
+        self.avg_power_w = power
+        self.duration_s = duration
+
+
+class TestObserve:
+    def test_noise_free_observation_passes_through(self):
+        result = _FakeResult(load=1.5, power=2.5)
+        measurement = observe(result, rng=None)
+        assert measurement.load_time_s == 1.5
+        assert measurement.avg_power_w == 2.5
+
+    def test_noise_is_seed_deterministic(self):
+        result = _FakeResult()
+        first = observe(result, rng=np.random.default_rng(3))
+        second = observe(result, rng=np.random.default_rng(3))
+        assert first.load_time_s == second.load_time_s
+        assert first.avg_power_w == second.avg_power_w
+
+    def test_noise_scale_is_respected(self):
+        rng = np.random.default_rng(0)
+        factors = [_lognormal_factor(rng, 0.02) for _ in range(4000)]
+        assert np.mean(factors) == pytest.approx(1.0, abs=0.005)
+        assert np.std(np.log(factors)) == pytest.approx(0.02, rel=0.1)
+
+    def test_zero_noise_factor_is_one(self):
+        assert _lognormal_factor(np.random.default_rng(0), 0.0) == 1.0
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            _lognormal_factor(np.random.default_rng(0), -0.1)
+
+    def test_timeout_measurement_keeps_none_load(self):
+        result = _FakeResult(load=None)
+        measurement = observe(result, rng=np.random.default_rng(1))
+        assert measurement.load_time_s is None
+        assert measurement.ppw == 0.0
+
+    def test_measurement_ppw_and_energy(self):
+        measurement = Measurement(
+            result=_FakeResult(duration=2.0), load_time_s=2.0, avg_power_w=3.0
+        )
+        assert measurement.ppw == pytest.approx(1.0 / 6.0)
+        assert measurement.energy_j == pytest.approx(6.0)
+
+
+class TestPercentError:
+    def test_basic(self):
+        assert percent_error(1.1, 1.0) == pytest.approx(0.1)
+        assert percent_error(0.9, 1.0) == pytest.approx(0.1)
+
+    def test_zero_observed_rejected(self):
+        with pytest.raises(ValueError):
+            percent_error(1.0, 0.0)
+
+    @given(
+        predicted=st.floats(0.1, 10.0),
+        observed=st.floats(0.1, 10.0),
+    )
+    def test_always_non_negative(self, predicted, observed):
+        assert percent_error(predicted, observed) >= 0.0

@@ -1,0 +1,187 @@
+"""Set-associative cache simulator tests."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soc.cache import SetAssociativeCache
+from repro.soc.specs import CacheGeometry
+
+
+def _cache(size=4096, line=64, ways=4):
+    return SetAssociativeCache(
+        geometry=CacheGeometry(size_bytes=size, line_bytes=line, associativity=ways)
+    )
+
+
+class TestBasics:
+    def test_first_access_misses_second_hits(self):
+        cache = _cache()
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+
+    def test_same_line_different_bytes_hit(self):
+        cache = _cache(line=64)
+        cache.access(0x100)
+        assert cache.access(0x100 + 63) is True
+
+    def test_adjacent_lines_are_distinct(self):
+        cache = _cache(line=64)
+        cache.access(0x100)
+        assert cache.access(0x100 + 64) is False
+
+    def test_stats_accounting(self):
+        cache = _cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.miss_ratio == pytest.approx(2 / 3)
+
+    def test_miss_ratio_of_empty_cache_is_zero(self):
+        assert _cache().stats.miss_ratio == 0.0
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            _cache().access(-1)
+
+
+class TestLruReplacement:
+    def test_lru_victim_is_evicted(self):
+        """Fill one set beyond associativity; the oldest line goes."""
+        cache = _cache(size=4096, line=64, ways=4)
+        sets = cache.geometry.num_sets
+        addresses = [i * sets * 64 for i in range(5)]  # same set, 5 tags
+        for address in addresses:
+            cache.access(address)
+        # Tag 0 was least recently used -> evicted.
+        assert cache.access(addresses[0]) is False
+        # Tag 4 is resident.
+        assert cache.access(addresses[4]) is True
+
+    def test_touching_a_line_refreshes_recency(self):
+        cache = _cache(size=4096, line=64, ways=4)
+        sets = cache.geometry.num_sets
+        addresses = [i * sets * 64 for i in range(5)]
+        for address in addresses[:4]:
+            cache.access(address)
+        cache.access(addresses[0])  # refresh tag 0
+        cache.access(addresses[4])  # evicts tag 1, not tag 0
+        assert cache.access(addresses[0]) is True
+        assert cache.access(addresses[1]) is False
+
+    def test_eviction_count(self):
+        cache = _cache(size=4096, line=64, ways=4)
+        sets = cache.geometry.num_sets
+        for i in range(6):
+            cache.access(i * sets * 64)
+        assert cache.stats.evictions == 2
+
+
+class TestWriteBack:
+    def test_clean_eviction_is_not_a_writeback(self):
+        cache = _cache(size=4096, line=64, ways=1)
+        sets = cache.geometry.num_sets
+        cache.access(0, write=False)
+        cache.access(sets * 64, write=False)  # evicts clean line
+        assert cache.stats.writebacks == 0
+
+    def test_dirty_eviction_writes_back(self):
+        cache = _cache(size=4096, line=64, ways=1)
+        sets = cache.geometry.num_sets
+        cache.access(0, write=True)
+        cache.access(sets * 64, write=False)
+        assert cache.stats.writebacks == 1
+
+    def test_read_then_write_marks_dirty(self):
+        cache = _cache(size=4096, line=64, ways=1)
+        sets = cache.geometry.num_sets
+        cache.access(0, write=False)
+        cache.access(0, write=True)
+        cache.access(sets * 64)
+        assert cache.stats.writebacks == 1
+
+    def test_flush_writes_back_dirty_lines_only(self):
+        cache = _cache()
+        cache.access(0, write=True)
+        cache.access(64, write=False)
+        assert cache.flush() == 1
+        assert cache.resident_lines() == 0
+
+
+class TestOwnerStats:
+    def test_per_owner_accounting(self):
+        cache = _cache()
+        cache.access(0, owner="browser")
+        cache.access(0, owner="browser")
+        cache.access(1 << 20, owner="kernel")
+        assert cache.owner_stats["browser"].accesses == 2
+        assert cache.owner_stats["browser"].misses == 1
+        assert cache.owner_stats["kernel"].misses == 1
+
+    def test_untagged_accesses_do_not_create_owner_stats(self):
+        cache = _cache()
+        cache.access(0)
+        assert cache.owner_stats == {}
+
+
+class TestInvariants:
+    @given(
+        addresses=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=400),
+    )
+    def test_resident_lines_never_exceed_capacity(self, addresses):
+        cache = _cache(size=2048, line=64, ways=2)
+        for address in addresses:
+            cache.access(address)
+        assert cache.resident_lines() <= cache.geometry.num_lines
+
+    @given(
+        addresses=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=400),
+    )
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = _cache()
+        for address in addresses:
+            cache.access(address)
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+
+    @given(addresses=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    def test_replaying_a_stream_into_a_big_enough_cache_only_misses_cold(
+        self, addresses
+    ):
+        cache = _cache(size=1 << 20, line=64, ways=16)
+        for address in addresses:
+            cache.access(address)
+        unique_lines = {a // 64 for a in addresses}
+        assert cache.stats.misses == len(unique_lines)
+
+
+class TestAgainstAnalyticModel:
+    def test_capacity_pressure_inflates_misses_like_the_analytic_curve(self):
+        """Two looping streams sharing a small cache: the simulator
+        shows the same qualitative inflation the analytic model
+        predicts (miss ratio grows when a competitor steals capacity).
+        """
+        rng = random.Random(7)
+        geometry = CacheGeometry(size_bytes=64 * 1024, line_bytes=64, associativity=8)
+
+        def run(with_rival: bool) -> float:
+            cache = SetAssociativeCache(geometry=geometry)
+            victim_lines = [rng.randrange(0, 48 * 1024, 64) for _ in range(400)]
+            rival_lines = [
+                (1 << 22) + rng.randrange(0, 256 * 1024, 64) for _ in range(2000)
+            ]
+            for round_index in range(40):
+                for address in victim_lines:
+                    cache.access(address, owner="victim")
+                if with_rival:
+                    for address in rival_lines:
+                        cache.access(address, owner="rival")
+            return cache.owner_stats["victim"].miss_ratio
+
+        alone = run(with_rival=False)
+        contended = run(with_rival=True)
+        assert contended > alone * 1.5

@@ -1,0 +1,83 @@
+"""LPDDR3 contention model tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soc.memory import LINE_BYTES, MemoryContentionModel
+from repro.soc.specs import nexus5_spec
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MemoryContentionModel(spec=nexus5_spec().memory)
+
+
+class TestUtilization:
+    def test_zero_traffic_means_zero_utilization(self, model):
+        assert model.utilization(0.0, 800e6) == 0.0
+
+    def test_utilization_is_traffic_over_peak(self, model):
+        peak = model.spec.peak_bandwidth_bytes_s(800e6)
+        misses = 0.25 * peak / LINE_BYTES
+        assert model.utilization(misses, 800e6) == pytest.approx(0.25)
+
+    def test_utilization_caps_below_one(self, model):
+        assert model.utilization(1e12, 200e6) == pytest.approx(
+            model.max_utilization
+        )
+
+    def test_same_traffic_loads_a_slow_bus_more(self, model):
+        assert model.utilization(5e6, 200e6) > model.utilization(5e6, 800e6)
+
+    def test_negative_traffic_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.utilization(-1.0, 800e6)
+
+
+class TestLatency:
+    def test_unloaded_latency_matches_spec(self, model):
+        assert model.effective_latency_s(0.0, 400e6) == pytest.approx(
+            model.spec.access_latency_s(400e6)
+        )
+
+    def test_latency_grows_with_load(self, model):
+        quiet = model.effective_latency_s(1e6, 400e6)
+        busy = model.effective_latency_s(4e7, 400e6)
+        assert busy > quiet
+
+    def test_latency_stays_finite_at_saturation(self, model):
+        saturated = model.effective_latency_s(1e12, 200e6)
+        assert saturated < 100 * model.spec.access_latency_s(200e6)
+
+    @given(
+        misses=st.floats(0, 1e9),
+        extra=st.floats(1e5, 1e9),
+    )
+    def test_latency_monotone_in_traffic(self, model, misses, extra):
+        assert model.effective_latency_s(misses + extra, 400e6) >= (
+            model.effective_latency_s(misses, 400e6)
+        )
+
+
+class TestMissPenalty:
+    def test_penalty_in_cycles_grows_with_core_frequency(self, model):
+        """Same wall-clock latency costs more cycles at a faster core --
+        the memory wall that flattens speedup."""
+        slow = model.miss_penalty_cycles(1e7, 800e6, 0.9e9)
+        fast = model.miss_penalty_cycles(1e7, 800e6, 2.2656e9)
+        assert fast / slow == pytest.approx(2.2656 / 0.9, rel=1e-6)
+
+    def test_penalty_drops_with_faster_bus(self, model):
+        slow_bus = model.miss_penalty_cycles(1e7, 200e6, 2e9)
+        fast_bus = model.miss_penalty_cycles(1e7, 800e6, 2e9)
+        assert fast_bus < slow_bus
+
+    def test_penalty_magnitude_is_dram_like(self, model):
+        """An L2 miss at fmax should cost on the order of 100-300 cycles."""
+        penalty = model.miss_penalty_cycles(5e6, 800e6, 2.2656e9)
+        assert 80 < penalty < 400
+
+    def test_non_positive_core_frequency_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.miss_penalty_cycles(1e6, 800e6, 0.0)

@@ -1,0 +1,129 @@
+"""Ground-truth device power model tests."""
+
+import pytest
+
+from repro.soc.power import (
+    CoreActivity,
+    DevicePowerModel,
+    nexus5_power_model,
+)
+from repro.soc.specs import nexus5_spec
+
+
+@pytest.fixture(scope="module")
+def model():
+    return nexus5_power_model()
+
+
+@pytest.fixture(scope="module")
+def states():
+    return nexus5_spec().dvfs_table
+
+
+def _busy(capacitance=0.45e-9, utilization=1.0):
+    return CoreActivity(utilization=utilization, effective_capacitance_f=capacitance)
+
+
+class TestBreakdown:
+    def test_total_is_sum_of_components(self, model, states):
+        breakdown = model.breakdown(states[-1], {0: _busy()}, 1e6, 50.0)
+        assert breakdown.total_w == pytest.approx(
+            breakdown.core_dynamic_w
+            + breakdown.memory_w
+            + breakdown.leakage_w
+            + breakdown.rest_of_device_w
+        )
+
+    def test_soc_power_excludes_rest_of_device(self, model, states):
+        breakdown = model.breakdown(states[0], {0: _busy()}, 0.0, 40.0)
+        assert breakdown.soc_w == pytest.approx(
+            breakdown.total_w - breakdown.rest_of_device_w
+        )
+
+    def test_dynamic_power_scales_with_v_squared_f(self, model, states):
+        low = model.breakdown(states[0], {0: _busy()}, 0.0, 40.0)
+        high = model.breakdown(states[-1], {0: _busy()}, 0.0, 40.0)
+        expected_ratio = (
+            states[-1].voltage_v**2 * states[-1].freq_hz
+        ) / (states[0].voltage_v**2 * states[0].freq_hz)
+        # Idle-core residual is zero at u=1, so scaling is exact.
+        assert high.core_dynamic_w / low.core_dynamic_w == pytest.approx(
+            expected_ratio
+        )
+
+    def test_dynamic_power_scales_with_utilization(self, model, states):
+        half = model.breakdown(states[-1], {0: _busy(utilization=0.5)}, 0.0, 40.0)
+        full = model.breakdown(states[-1], {0: _busy(utilization=1.0)}, 0.0, 40.0)
+        assert half.core_dynamic_w < full.core_dynamic_w
+
+    def test_idle_core_still_draws_residual_power(self, model, states):
+        idle = model.breakdown(
+            states[-1], {0: CoreActivity(0.0, 0.0)}, 0.0, 40.0
+        )
+        assert idle.core_dynamic_w > 0
+
+    def test_more_cores_draw_more_power(self, model, states):
+        one = model.breakdown(states[-1], {0: _busy()}, 0.0, 40.0)
+        three = model.breakdown(
+            states[-1], {0: _busy(), 1: _busy(), 2: _busy()}, 0.0, 40.0
+        )
+        assert three.core_dynamic_w == pytest.approx(3 * one.core_dynamic_w)
+
+    def test_memory_power_grows_with_miss_rate(self, model, states):
+        quiet = model.breakdown(states[-1], {0: _busy()}, 0.0, 40.0)
+        busy = model.breakdown(states[-1], {0: _busy()}, 20e6, 40.0)
+        assert busy.memory_w > quiet.memory_w
+        assert busy.memory_w - quiet.memory_w == pytest.approx(
+            model.energy_per_miss_j * 20e6
+        )
+
+    def test_memory_static_power_grows_with_bus_frequency(self, model, states):
+        low_bus = model.breakdown(states[0], {0: _busy()}, 0.0, 40.0)
+        high_bus = model.breakdown(states[-1], {0: _busy()}, 0.0, 40.0)
+        assert high_bus.memory_w > low_bus.memory_w
+
+    def test_leakage_grows_with_temperature(self, model, states):
+        cool = model.breakdown(states[-1], {0: _busy()}, 0.0, 30.0)
+        hot = model.breakdown(states[-1], {0: _busy()}, 0.0, 70.0)
+        assert hot.leakage_w > cool.leakage_w
+        assert hot.core_dynamic_w == pytest.approx(cool.core_dynamic_w)
+
+    def test_negative_miss_rate_rejected(self, model, states):
+        with pytest.raises(ValueError):
+            model.breakdown(states[0], {0: _busy()}, -1.0, 40.0)
+
+    def test_whole_device_magnitude_is_phone_like(self, model, states):
+        """Three busy cores at fmax: a hot phone, not a laptop."""
+        breakdown = model.breakdown(
+            states[-1], {0: _busy(), 1: _busy(), 2: _busy()}, 15e6, 55.0
+        )
+        assert 3.5 < breakdown.total_w < 8.0
+
+
+class TestCoreActivity:
+    def test_utilization_bounds(self):
+        with pytest.raises(ValueError):
+            CoreActivity(utilization=1.5, effective_capacitance_f=1e-9)
+        with pytest.raises(ValueError):
+            CoreActivity(utilization=-0.1, effective_capacitance_f=1e-9)
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            CoreActivity(utilization=0.5, effective_capacitance_f=-1e-9)
+
+
+class TestInteriorOptimum:
+    def test_energy_per_fixed_work_has_interior_minimum(self, model, states):
+        """The floor + V^2 f balance creates an interior energy optimum.
+
+        For a fixed amount of compute-bound work (cycles), energy
+        = total power x (cycles / f); the minimizing frequency must be
+        neither the lowest nor the highest state.
+        """
+        cycles = 3e9
+        energies = []
+        for state in states:
+            breakdown = model.breakdown(state, {0: _busy(), 1: _busy()}, 2e6, 48.0)
+            energies.append(breakdown.total_w * cycles / state.freq_hz)
+        best = energies.index(min(energies))
+        assert 0 < best < len(states) - 1

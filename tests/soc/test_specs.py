@@ -1,0 +1,218 @@
+"""Platform description tests (Table II)."""
+
+import pytest
+
+from repro.soc.specs import (
+    CacheGeometry,
+    DvfsState,
+    MemorySpec,
+    PlatformSpec,
+    nexus5_spec,
+)
+
+
+class TestNexus5Table2:
+    """The spec mirrors Table II of the paper."""
+
+    def test_four_krait_cores(self, spec):
+        assert spec.num_cores == 4
+
+    def test_fourteen_dvfs_states(self, spec):
+        assert len(spec.dvfs_table) == 14
+
+    def test_frequency_range_300_to_2265(self, spec):
+        assert spec.min_state.freq_hz == pytest.approx(300e6)
+        assert spec.max_state.freq_hz == pytest.approx(2265.6e6)
+
+    def test_l1_is_16kb(self, spec):
+        assert spec.l1_geometry.size_bytes == 16 * 1024
+
+    def test_l2_is_2mb_shared(self, spec):
+        assert spec.l2_geometry.size_bytes == 2 * 1024 * 1024
+
+    def test_memory_is_2gb(self, spec):
+        assert spec.memory.size_bytes == 2 * 1024**3
+
+    def test_voltage_rises_with_frequency(self, spec):
+        voltages = [state.voltage_v for state in spec.dvfs_table]
+        assert voltages == sorted(voltages)
+        assert voltages[0] < voltages[-1]
+
+    def test_bus_frequency_is_monotone_in_core_frequency(self, spec):
+        buses = [state.bus_freq_hz for state in spec.dvfs_table]
+        assert buses == sorted(buses)
+
+    def test_evaluation_subset_has_eight_entries(self, spec):
+        assert len(spec.evaluation_states()) == 8
+
+    def test_evaluation_frequencies_are_table_entries(self, spec):
+        table = set(spec.frequencies_hz)
+        for freq in spec.evaluation_freqs_hz:
+            assert freq in table
+
+
+class TestStateQueries:
+    def test_state_for_exact_frequency(self, spec):
+        state = spec.state_for(1190.4e6)
+        assert state.freq_hz == pytest.approx(1190.4e6)
+
+    def test_state_for_unknown_frequency_raises(self, spec):
+        with pytest.raises(KeyError):
+            spec.state_for(1.0e9)
+
+    def test_nearest_state_rounds_to_closest(self, spec):
+        assert spec.nearest_state(1.2e9).freq_hz == pytest.approx(1190.4e6)
+        assert spec.nearest_state(0.0).freq_hz == pytest.approx(300e6)
+
+    def test_ceil_state_rounds_up(self, spec):
+        assert spec.ceil_state(1.0e9).freq_hz == pytest.approx(1036.8e6)
+
+    def test_ceil_state_saturates_at_max(self, spec):
+        assert spec.ceil_state(9e9).freq_hz == spec.max_state.freq_hz
+
+    def test_ceil_state_exact_match_returns_same(self, spec):
+        assert spec.ceil_state(960e6).freq_hz == pytest.approx(960e6)
+
+    def test_state_index_is_positional(self, spec):
+        assert spec.state_index(300e6) == 0
+        assert spec.state_index(2265.6e6) == 13
+
+    def test_neighbour_states_interior(self, spec):
+        below, above = spec.neighbour_states(960e6)
+        assert below.freq_hz == pytest.approx(883.2e6)
+        assert above.freq_hz == pytest.approx(1036.8e6)
+
+    def test_neighbour_states_at_edges(self, spec):
+        below, _ = spec.neighbour_states(300e6)
+        _, above = spec.neighbour_states(2265.6e6)
+        assert below is None
+        assert above is None
+
+    def test_bus_frequency_groups_partition_the_table(self, spec):
+        groups = spec.bus_frequency_groups()
+        total = sum(len(states) for states in groups.values())
+        assert total == len(spec.dvfs_table)
+        assert len(groups) == 4  # 200 / 400 / 533 / 800 MHz bands
+
+    def test_bus_freq_for_matches_state(self, spec):
+        for state in spec.dvfs_table:
+            assert spec.bus_freq_for(state.freq_hz) == state.bus_freq_hz
+
+
+class TestValidation:
+    def _state(self, freq, bus=200e6):
+        return DvfsState(freq_hz=freq, voltage_v=0.9, bus_freq_hz=bus)
+
+    def _spec(self, table, **kwargs):
+        defaults = dict(
+            name="test",
+            num_cores=2,
+            dvfs_table=table,
+            l1_geometry=CacheGeometry(16 * 1024, 64, 4),
+            l2_geometry=CacheGeometry(2 * 1024 * 1024, 64, 8),
+            memory=MemorySpec(2**31, 50e-9, 16.0, 8.0),
+        )
+        defaults.update(kwargs)
+        return PlatformSpec(**defaults)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            self._spec(())
+
+    def test_unsorted_table_rejected(self):
+        with pytest.raises(ValueError):
+            self._spec((self._state(2e9), self._state(1e9)))
+
+    def test_duplicate_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            self._spec((self._state(1e9), self._state(1e9)))
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            self._spec((self._state(1e9),), num_cores=0)
+
+    def test_evaluation_freq_must_be_in_table(self):
+        with pytest.raises(ValueError):
+            self._spec((self._state(1e9),), evaluation_freqs_hz=(2e9,))
+
+
+class TestCacheGeometry:
+    def test_num_sets(self):
+        geometry = CacheGeometry(size_bytes=2 * 1024 * 1024, line_bytes=64, associativity=8)
+        assert geometry.num_sets == 4096
+
+    def test_num_lines(self):
+        geometry = CacheGeometry(size_bytes=16 * 1024, line_bytes=64, associativity=4)
+        assert geometry.num_lines == 256
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=0, line_bytes=64, associativity=4)
+
+    def test_non_multiple_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1000, line_bytes=64, associativity=4)
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1024, line_bytes=64, associativity=0)
+
+
+class TestMemorySpec:
+    def test_latency_decreases_with_bus_frequency(self, spec):
+        slow = spec.memory.access_latency_s(200e6)
+        fast = spec.memory.access_latency_s(800e6)
+        assert slow > fast
+
+    def test_latency_has_fixed_floor(self, spec):
+        assert spec.memory.access_latency_s(1e12) == pytest.approx(
+            spec.memory.base_latency_s, rel=1e-3
+        )
+
+    def test_peak_bandwidth_scales_linearly(self, spec):
+        assert spec.memory.peak_bandwidth_bytes_s(800e6) == pytest.approx(
+            4 * spec.memory.peak_bandwidth_bytes_s(200e6)
+        )
+
+    def test_non_positive_bus_frequency_rejected(self, spec):
+        with pytest.raises(ValueError):
+            spec.memory.access_latency_s(0.0)
+        with pytest.raises(ValueError):
+            spec.memory.peak_bandwidth_bytes_s(-1.0)
+
+
+class TestDvfsState:
+    def test_unit_conversions(self):
+        state = DvfsState(freq_hz=1.5e9, voltage_v=1.0, bus_freq_hz=533e6)
+        assert state.freq_ghz == pytest.approx(1.5)
+        assert state.freq_mhz == pytest.approx(1500.0)
+
+
+class TestGenericHexcore:
+    """The portability target platform."""
+
+    @pytest.fixture(scope="class")
+    def hexcore(self):
+        from repro.soc.specs import generic_hexcore_spec
+
+        return generic_hexcore_spec()
+
+    def test_six_cores_ten_states(self, hexcore):
+        assert hexcore.num_cores == 6
+        assert len(hexcore.dvfs_table) == 10
+
+    def test_three_bus_bands(self, hexcore):
+        assert len(hexcore.bus_frequency_groups()) == 3
+
+    def test_wider_ladder_than_the_nexus5(self, hexcore, spec):
+        assert hexcore.max_state.freq_hz > spec.max_state.freq_hz
+        assert hexcore.max_state.voltage_v > spec.max_state.voltage_v
+
+    def test_evaluation_subset(self, hexcore):
+        assert len(hexcore.evaluation_states()) == 7
+
+    def test_structural_invariants_hold(self, hexcore):
+        voltages = [s.voltage_v for s in hexcore.dvfs_table]
+        buses = [s.bus_freq_hz for s in hexcore.dvfs_table]
+        assert voltages == sorted(voltages)
+        assert buses == sorted(buses)

@@ -1,0 +1,157 @@
+"""Cross-cutting edge cases and property tests.
+
+Behaviours that don't belong to a single module's main test file:
+parser oddities, selector compounds, serialization round-trips over
+randomized models, and oracle-selection invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.browser.css import Stylesheet, match_styles, parse_selector
+from repro.browser.html import parse_html, tokenize
+from repro.core.ppw import FrequencyPrediction, find_fd, find_fe, select_fopt
+from repro.models.regression import RegressionModel, ResponseSurface
+from repro.workloads.streams import LINE_BYTES, PointerChaseStream, RandomStream
+
+
+class TestHtmlOddities:
+    def test_duplicate_attribute_keeps_the_last_value(self):
+        root = parse_html('<a href="/one" href="/two">x</a>')
+        assert root.children[0].attributes["href"] == "/two"
+
+    def test_attribute_values_preserve_case(self):
+        root = parse_html('<img src="/CaseSensitive.PNG"/>')
+        assert root.children[0].attributes["src"] == "/CaseSensitive.PNG"
+
+    def test_entities_pass_through_as_text(self):
+        """No entity decoding: the census only counts structure."""
+        root = parse_html("<p>a &amp; b</p>")
+        assert root.text_content() == "a &amp; b"
+
+    def test_script_with_attributes_is_raw_text(self):
+        tokens = tokenize('<script type="module">let x = 1 < 2;</script>')
+        assert tokens[0].attributes == {"type": "module"}
+        assert "1 < 2" in tokens[1].data
+
+    def test_empty_attribute_value(self):
+        root = parse_html('<input value="">')
+        assert root.children[0].attributes["value"] == ""
+
+    def test_deeply_nested_document_parses_iteratively(self):
+        depth = 500
+        markup = "<div>" * depth + "</div>" * depth
+        root = parse_html(markup)
+        assert len(root.find_all("div")) == depth
+
+    def test_consecutive_text_runs_merge_across_comments(self):
+        root = parse_html("<p>a<!-- x -->b</p>")
+        assert root.text_content() == "ab"
+
+
+class TestCssCompounds:
+    def test_multi_class_compound(self):
+        selector = parse_selector(".a.b")
+        root = parse_html('<div class="a b c">x</div><div class="a">y</div>')
+        both, only_a = root.find_all("div")
+        assert selector.key.matches(both)
+        assert not selector.key.matches(only_a)
+
+    def test_tag_id_class_compound_via_match_styles(self):
+        markup = '<div id="hero" class="big">x</div><div class="big">y</div>'
+        sheet = Stylesheet.from_selectors(["div.big#hero"])
+        stats = match_styles(parse_html(markup), sheet)
+        assert stats.matches == 1
+
+    def test_rule_order_does_not_change_match_counts(self):
+        markup = "<div><p>x</p></div>"
+        forward = Stylesheet.from_selectors(["div", "p"])
+        backward = Stylesheet.from_selectors(["p", "div"])
+        assert (
+            match_styles(parse_html(markup), forward).matches
+            == match_styles(parse_html(markup), backward).matches
+        )
+
+
+class TestOracleInvariants:
+    @st.composite
+    def tables(draw):
+        n = draw(st.integers(2, 8))
+        freqs = sorted(draw(st.lists(
+            st.floats(0.3e9, 3e9), min_size=n, max_size=n, unique=True
+        )))
+        points = []
+        load = draw(st.floats(2.0, 8.0))
+        for freq in freqs:
+            load *= draw(st.floats(0.55, 0.99))  # faster at higher f
+            power = 0.8 + draw(st.floats(0.1, 2.0)) * (freq / 1e9) ** 2
+            points.append(FrequencyPrediction(freq, load, power))
+        return points
+
+    @given(table=tables())
+    def test_fd_is_minimal_and_feasible(self, table):
+        deadline = 3.0
+        fd = find_fd(table, deadline)
+        if fd is None:
+            assert all(p.load_time_s > deadline for p in table)
+        else:
+            assert fd.load_time_s <= deadline
+            for point in table:
+                if point.freq_hz < fd.freq_hz:
+                    assert point.load_time_s > deadline
+
+    @given(table=tables())
+    def test_fopt_dominates_every_feasible_point(self, table):
+        deadline = 3.0
+        choice = select_fopt(table, deadline)
+        feasible = [p for p in table if p.load_time_s <= deadline]
+        for point in feasible:
+            assert choice.ppw >= point.ppw - 1e-12
+
+    @given(table=tables())
+    def test_fe_is_global_ppw_max(self, table):
+        fe = find_fe(table)
+        assert fe.ppw == max(p.ppw for p in table)
+
+
+class TestSerializationProperty:
+    @given(seed=st.integers(0, 10_000))
+    def test_regression_coefficients_round_trip_via_json_types(self, seed):
+        from repro.models.serialization import (
+            _regression_from_dict,
+            _regression_to_dict,
+        )
+
+        rng = np.random.default_rng(seed)
+        inputs = rng.uniform(-1, 1, size=(30, 4))
+        targets = rng.uniform(0.5, 2.0, size=30)
+        model = RegressionModel.fit(inputs, targets, ResponseSurface.INTERACTION)
+        rebuilt = _regression_from_dict(_regression_to_dict(model))
+        probe = rng.uniform(-1, 1, size=(3, 4))
+        assert np.allclose(model.predict(probe), rebuilt.predict(probe))
+
+
+class TestStreamProperties:
+    @given(
+        lines=st.integers(2, 256),
+        seed=st.integers(0, 100),
+        count=st.integers(1, 300),
+    )
+    def test_random_stream_stays_aligned_and_bounded(self, lines, seed, count):
+        stream = RandomStream(
+            working_set_bytes=lines * LINE_BYTES, seed=seed, base=1 << 16
+        )
+        for address in stream.take(count):
+            assert address % LINE_BYTES == 0
+            assert (1 << 16) <= address < (1 << 16) + lines * LINE_BYTES
+
+    @given(lines=st.integers(2, 128), seed=st.integers(0, 50))
+    def test_pointer_chase_cycles_exactly(self, lines, seed):
+        stream = PointerChaseStream(
+            working_set_bytes=lines * LINE_BYTES, seed=seed
+        )
+        first = stream.take(lines)
+        second = stream.take(2 * lines)[lines:]
+        assert first == second  # the permutation repeats

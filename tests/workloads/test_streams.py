@@ -1,0 +1,169 @@
+"""Address-stream generator tests and analytic-model cross-validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.cache import AnalyticSharedCache, CacheDemand
+from repro.soc.specs import CacheGeometry
+from repro.workloads.streams import (
+    LINE_BYTES,
+    PointerChaseStream,
+    RandomStream,
+    SequentialStream,
+    StridedStream,
+    measure_miss_ratio,
+    measure_shared_miss_ratios,
+)
+
+KIB = 1024
+
+
+def _geometry(size_kib=64, ways=8):
+    return CacheGeometry(size_bytes=size_kib * KIB, line_bytes=64, associativity=ways)
+
+
+class TestStreamShapes:
+    def test_sequential_touches_every_line_in_order(self):
+        stream = SequentialStream(working_set_bytes=4 * LINE_BYTES, base=1 << 20)
+        assert stream.take(5) == [
+            (1 << 20) + 0,
+            (1 << 20) + 64,
+            (1 << 20) + 128,
+            (1 << 20) + 192,
+            (1 << 20) + 0,
+        ]
+
+    def test_strided_visits_all_phases(self):
+        stream = StridedStream(
+            working_set_bytes=8 * LINE_BYTES, stride_bytes=2 * LINE_BYTES
+        )
+        one_cycle = stream.take(8)
+        assert sorted(one_cycle) == [i * LINE_BYTES for i in range(8)]
+
+    def test_random_stays_in_working_set(self):
+        stream = RandomStream(working_set_bytes=16 * LINE_BYTES, seed=3, base=4096)
+        for address in stream.take(200):
+            assert 4096 <= address < 4096 + 16 * LINE_BYTES
+            assert address % LINE_BYTES == 0
+
+    def test_random_is_seed_deterministic(self):
+        a = RandomStream(working_set_bytes=KIB, seed=9).take(50)
+        b = RandomStream(working_set_bytes=KIB, seed=9).take(50)
+        assert a == b
+
+    def test_pointer_chase_is_a_permutation(self):
+        stream = PointerChaseStream(working_set_bytes=32 * LINE_BYTES, seed=1)
+        cycle = stream.take(32)
+        assert sorted(cycle) == [i * LINE_BYTES for i in range(32)]
+        assert cycle != sorted(cycle)  # shuffled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialStream(working_set_bytes=10)
+        with pytest.raises(ValueError):
+            StridedStream(working_set_bytes=KIB, stride_bytes=0)
+        with pytest.raises(ValueError):
+            RandomStream(working_set_bytes=0)
+
+
+class TestSoloMissRatios:
+    def test_fitting_sequential_stream_has_near_zero_misses(self):
+        ratio = measure_miss_ratio(
+            SequentialStream(working_set_bytes=16 * KIB), _geometry(64), 4000
+        )
+        assert ratio < 0.01
+
+    def test_oversized_sequential_stream_misses_every_line(self):
+        """A streaming sweep over 4x the cache: LRU evicts lines before
+        reuse, so every access to a new line misses."""
+        ratio = measure_miss_ratio(
+            SequentialStream(working_set_bytes=256 * KIB), _geometry(64), 4000
+        )
+        assert ratio > 0.95
+
+    def test_fitting_pointer_chase_hits_after_warmup(self):
+        ratio = measure_miss_ratio(
+            PointerChaseStream(working_set_bytes=32 * KIB, seed=2),
+            _geometry(64),
+            4000,
+        )
+        assert ratio < 0.02
+
+    def test_random_stream_miss_ratio_tracks_capacity_shortfall(self):
+        small = measure_miss_ratio(
+            RandomStream(working_set_bytes=32 * KIB, seed=5), _geometry(64), 6000
+        )
+        large = measure_miss_ratio(
+            RandomStream(working_set_bytes=256 * KIB, seed=5), _geometry(64), 6000
+        )
+        assert small < 0.05
+        # ~3/4 of a uniformly-referenced 256K set cannot reside in 64K.
+        assert 0.55 < large < 0.95
+
+    def test_measurement_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            measure_miss_ratio(
+                SequentialStream(working_set_bytes=KIB), _geometry(), 0
+            )
+
+
+class TestSharedCacheCrossValidation:
+    """The analytic sharing model against the true simulator."""
+
+    def test_contention_direction_matches_the_analytic_model(self):
+        geometry = _geometry(64)
+        victim = RandomStream(working_set_bytes=48 * KIB, seed=1, base=0)
+        rival = SequentialStream(
+            working_set_bytes=256 * KIB, base=1 << 24
+        )
+        solo = measure_miss_ratio(victim, geometry, 6000)
+        shared = measure_shared_miss_ratios(
+            {"victim": (victim, 600), "rival": (rival, 1800)},
+            geometry,
+            rounds=20,
+        )
+        assert shared["victim"] > solo * 1.3
+
+    def test_analytic_model_predicts_the_same_ordering(self):
+        """Simulator and analytic model must agree on who suffers and
+        which rival hurts more."""
+        geometry = _geometry(64)
+        analytic = AnalyticSharedCache(geometry=geometry)
+        victim = RandomStream(working_set_bytes=48 * KIB, seed=1, base=0)
+        solo = measure_miss_ratio(victim, geometry, 6000)
+
+        simulated = {}
+        predicted = {}
+        for label, rival_rate in (("mild", 300), ("fierce", 3000)):
+            rival = SequentialStream(working_set_bytes=256 * KIB, base=1 << 24)
+            shared = measure_shared_miss_ratios(
+                {"victim": (victim, 600), "rival": (rival, rival_rate)},
+                geometry,
+                rounds=15,
+            )
+            simulated[label] = shared["victim"]
+            demands = [
+                CacheDemand("victim", 600.0, 48 * KIB, solo),
+                CacheDemand("rival", float(rival_rate), 256 * KIB, 1.0),
+            ]
+            predicted[label] = analytic.miss_ratios(demands)["victim"]
+
+        assert simulated["fierce"] > simulated["mild"]
+        assert predicted["fierce"] > predicted["mild"]
+        # Both agree the fierce rival at least doubles the victim's
+        # solo miss ratio.
+        assert simulated["fierce"] > 2 * solo
+        assert predicted["fierce"] > 2 * solo
+
+    def test_tiny_working_set_is_immune_in_both_models(self):
+        geometry = _geometry(64)
+        victim = RandomStream(working_set_bytes=2 * KIB, seed=4, base=0)
+        rival = SequentialStream(working_set_bytes=256 * KIB, base=1 << 24)
+        solo = measure_miss_ratio(victim, geometry, 4000)
+        shared = measure_shared_miss_ratios(
+            {"victim": (victim, 400), "rival": (rival, 2000)},
+            geometry,
+            rounds=15,
+        )
+        assert shared["victim"] < solo + 0.05

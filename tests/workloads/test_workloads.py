@@ -1,0 +1,118 @@
+"""Co-run kernel, classification, and generator tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.classification import (
+    HIGH_MPKI_LIMIT,
+    LOW_MPKI_LIMIT,
+    MemoryIntensity,
+    classify_mpki,
+    classify_page_load_time,
+)
+from repro.workloads.generator import intensity_for, synthetic_kernel, synthetic_task
+from repro.workloads.kernels import (
+    all_kernels,
+    kernel_by_name,
+    kernel_task,
+    kernels_by_intensity,
+)
+
+
+class TestClassification:
+    def test_bin_edges(self):
+        assert classify_mpki(0.0) is MemoryIntensity.LOW
+        assert classify_mpki(0.99) is MemoryIntensity.LOW
+        assert classify_mpki(1.0) is MemoryIntensity.MEDIUM
+        assert classify_mpki(7.0) is MemoryIntensity.MEDIUM
+        assert classify_mpki(7.01) is MemoryIntensity.HIGH
+
+    def test_negative_mpki_rejected(self):
+        with pytest.raises(ValueError):
+            classify_mpki(-0.1)
+
+    def test_page_split_at_two_seconds(self):
+        assert classify_page_load_time(1.99) == "low"
+        assert classify_page_load_time(2.0) == "high"
+
+    def test_negative_load_time_rejected(self):
+        with pytest.raises(ValueError):
+            classify_page_load_time(-1.0)
+
+    @given(st.floats(0.0, 100.0))
+    def test_every_mpki_lands_in_exactly_one_bin(self, mpki):
+        intensity = classify_mpki(mpki)
+        if mpki < LOW_MPKI_LIMIT:
+            assert intensity is MemoryIntensity.LOW
+        elif mpki <= HIGH_MPKI_LIMIT:
+            assert intensity is MemoryIntensity.MEDIUM
+        else:
+            assert intensity is MemoryIntensity.HIGH
+
+
+class TestKernels:
+    def test_nine_kernels_as_in_table_three(self):
+        assert len(all_kernels()) == 9
+
+    def test_table_three_bin_populations(self):
+        assert len(kernels_by_intensity(MemoryIntensity.LOW)) == 4
+        assert len(kernels_by_intensity(MemoryIntensity.MEDIUM)) == 3
+        assert len(kernels_by_intensity(MemoryIntensity.HIGH)) == 2
+
+    def test_nominal_solo_mpki_matches_expected_bin(self):
+        for kernel in all_kernels():
+            assert classify_mpki(kernel.solo_mpki) is kernel.expected_intensity
+
+    def test_lookup_by_name(self):
+        assert kernel_by_name("bfs").name == "bfs"
+        with pytest.raises(KeyError):
+            kernel_by_name("linpack")
+
+    def test_kernel_task_loops_and_never_gates(self):
+        task = kernel_task(kernel_by_name("srad"))
+        assert task.looping is True
+        assert task.gating is False
+        assert task.core == 2
+
+    def test_kernel_task_has_sweep_and_reduce_phases(self):
+        task = kernel_task(kernel_by_name("backprop"))
+        assert len(task.phases) == 2
+        sweep, reduce_phase = task.phases
+        assert sweep.l2_apki > reduce_phase.l2_apki
+
+    def test_custom_core_assignment(self):
+        assert kernel_task(kernel_by_name("bfs"), core=3).core == 3
+
+
+class TestSyntheticGenerator:
+    def test_intensity_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            synthetic_kernel(-0.1)
+        with pytest.raises(ValueError):
+            synthetic_kernel(1.1)
+
+    def test_extremes_span_the_table_three_bins(self):
+        assert synthetic_kernel(0.0).expected_intensity is MemoryIntensity.LOW
+        assert synthetic_kernel(1.0).expected_intensity is MemoryIntensity.HIGH
+
+    @given(
+        low=st.floats(0.0, 1.0),
+        delta=st.floats(0.01, 1.0),
+    )
+    def test_nominal_mpki_monotone_in_intensity(self, low, delta):
+        high = min(1.0, low + delta)
+        assert synthetic_kernel(high).solo_mpki >= synthetic_kernel(low).solo_mpki
+
+    def test_representative_intensities_hit_their_bins(self):
+        for target in MemoryIntensity:
+            kernel = synthetic_kernel(intensity_for(target))
+            assert classify_mpki(kernel.solo_mpki) is target
+
+    def test_synthetic_task_is_a_looping_corunner(self):
+        task = synthetic_task(0.5)
+        assert task.looping is True
+        assert task.core == 2
+
+    def test_custom_name(self):
+        assert synthetic_kernel(0.5, name="probe").name == "probe"
