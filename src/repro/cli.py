@@ -19,6 +19,35 @@ import sys
 from typing import Sequence
 
 
+def _setup_runtime(args: argparse.Namespace) -> None:
+    """Wire the execution runtime to the CLI.
+
+    Installs a stderr progress printer and, when ``--workers`` was
+    given, makes it the process-wide default worker count so every
+    nested ``evaluate_suite``/``frequency_sweep``/``run_campaign``
+    call fans out without plumbing the flag through each layer.
+    ``--workers 0`` (or an unset ``REPRO_WORKERS``) keeps everything
+    serial in-process.
+    """
+    from repro.runtime import configure
+
+    def emit(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    configure(workers=getattr(args, "workers", None), progress=emit)
+
+
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent runs "
+        "(0 = serial; default: $REPRO_WORKERS or serial)",
+    )
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.browser.pages import alexa_pages
     from repro.experiments.harness import GOVERNOR_NAMES
@@ -72,6 +101,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.ppw import find_fd, find_fe, select_fopt
     from repro.experiments.harness import HarnessConfig, frequency_sweep
 
+    _setup_runtime(args)
     config = HarnessConfig(deadline_s=args.deadline)
     sweep = frequency_sweep(args.page, args.kernel, config)
     print(f"{'freq':>7} {'load':>8} {'power':>7} {'PPW':>8}")
@@ -103,6 +133,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments.harness import HarnessConfig
     from repro.experiments.reporting import banner
 
+    _setup_runtime(args)
     config = HarnessConfig()
     predictor = default_predictor()
     models = default_trained_models()
@@ -185,6 +216,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.models.serialization import save_predictor
     from repro.models.training import overall_accuracy
 
+    _setup_runtime(args)
     models = default_trained_models()
     time_acc, power_acc = overall_accuracy(models)
     print(f"{len(models.observations)} observations; "
@@ -234,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("page")
     sweep_parser.add_argument("--kernel", default=None)
     sweep_parser.add_argument("--deadline", type=float, default=3.0)
+    _add_workers_flag(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     figures_parser = commands.add_parser("figures", help="reproduce figures")
@@ -243,10 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
     figures_parser.add_argument(
         "--export", default=None, metavar="DIR", help="also write CSVs"
     )
+    _add_workers_flag(figures_parser)
     figures_parser.set_defaults(func=_cmd_figures)
 
     train_parser = commands.add_parser("train", help="train + save models")
     train_parser.add_argument("--output", default=None, metavar="JSON")
+    _add_workers_flag(train_parser)
     train_parser.set_defaults(func=_cmd_train)
 
     commands.add_parser("classify", help="measured Table III").set_defaults(

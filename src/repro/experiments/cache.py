@@ -6,6 +6,13 @@ directory keyed by a content hash of (artifact name, parameters,
 calibration tag), so a physics recalibration invalidates stale
 results.
 
+Writes are multi-process safe: each writer dumps to a temp file whose
+name embeds its PID (two processes building the same key can never
+clobber each other's half-written bytes) and publishes it with the
+atomic ``os.replace``.  Concurrent builders of one key race benignly
+-- last publish wins, and every publish holds the same deterministic
+artifact.
+
 Set ``REPRO_CACHE_DIR`` to relocate the cache, or ``REPRO_NO_CACHE=1``
 to disable it entirely (tests that must re-compute use the latter).
 """
@@ -19,8 +26,10 @@ from pathlib import Path
 from typing import Any, Callable
 
 #: Bump when the simulator's physics calibration changes; invalidates
-#: every cached artifact.
-CALIBRATION_TAG = "dora-repro-v9"
+#: every cached artifact.  v10: the training campaign switched to
+#: per-measurement noise streams (order-independent seeding), changing
+#: every trained-model artifact and its downstream evaluations.
+CALIBRATION_TAG = "dora-repro-v10"
 
 
 def cache_dir() -> Path:
@@ -44,6 +53,51 @@ def _key_digest(name: str, key: Any) -> str:
     return hashlib.sha1(payload).hexdigest()[:16]
 
 
+def artifact_path(name: str, key: Any) -> Path:
+    """Where the artifact for (name, key) lives on disk."""
+    return cache_dir() / f"{name}-{_key_digest(name, key)}.pkl"
+
+
+def peek(name: str, key: Any) -> tuple[bool, Any]:
+    """Load the cached artifact for (name, key) without building.
+
+    Returns:
+        ``(True, value)`` on a hit; ``(False, None)`` when the cache
+        is disabled, the artifact is absent, or it fails to unpickle
+        (the corrupt file is removed so the next build replaces it).
+    """
+    if not cache_enabled():
+        return False, None
+    path = artifact_path(name, key)
+    if not path.exists():
+        return False, None
+    try:
+        with path.open("rb") as handle:
+            return True, pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        path.unlink(missing_ok=True)
+        return False, None
+
+
+def store(name: str, key: Any, artifact: Any) -> None:
+    """Atomically publish an artifact for (name, key).
+
+    The temp name embeds the writer's PID so concurrent writers of the
+    same key never interleave bytes; ``os.replace`` makes the publish
+    atomic on POSIX and Windows alike.
+    """
+    if not cache_enabled():
+        return
+    path = artifact_path(name, key)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with tmp.open("wb") as handle:
+            pickle.dump(artifact, handle)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 def memoized(name: str, key: Any, builder: Callable[[], Any]) -> Any:
     """Return the cached artifact for (name, key), building if absent.
 
@@ -54,25 +108,24 @@ def memoized(name: str, key: Any, builder: Callable[[], Any]) -> Any:
     """
     if not cache_enabled():
         return builder()
-    path = cache_dir() / f"{name}-{_key_digest(name, key)}.pkl"
-    if path.exists():
-        try:
-            with path.open("rb") as handle:
-                return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            path.unlink(missing_ok=True)
+    hit, value = peek(name, key)
+    if hit:
+        return value
     artifact = builder()
-    tmp = path.with_suffix(".tmp")
-    with tmp.open("wb") as handle:
-        pickle.dump(artifact, handle)
-    tmp.replace(path)
+    store(name, key, artifact)
     return artifact
 
 
 def clear() -> int:
-    """Delete every cached artifact; returns the number removed."""
+    """Delete every cached artifact (and orphaned temp files).
+
+    Returns:
+        The number of artifacts removed (temp orphans not counted).
+    """
     removed = 0
     for path in cache_dir().glob("*.pkl"):
         path.unlink(missing_ok=True)
         removed += 1
+    for orphan in cache_dir().glob("*.tmp"):
+        orphan.unlink(missing_ok=True)
     return removed

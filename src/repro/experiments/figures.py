@@ -101,16 +101,34 @@ def fig01_interference_range(
     deadlines_s: tuple[float, ...] = (2.0, 3.0, 4.0),
     config: HarnessConfig | None = None,
 ) -> Fig01Result:
-    """Fig. 1: load-time spread vs frequency under all nine kernels."""
+    """Fig. 1: load-time spread vs frequency under all nine kernels.
+
+    The ten sweeps (solo + nine co-runners) are independent, so they
+    fan out over the execution runtime; warm sweeps are served from
+    the cache without touching the pool.
+    """
+    from repro.experiments.harness import sweep_cache_key
+    from repro.runtime import Job, run_jobs
+
     config = config or HarnessConfig()
     rows: dict[float, tuple[float, float, float, list[float]]] = {}
-    solo = {p.freq_hz: p.load_time_s for p in frequency_sweep(page_name, None, config)}
+    kernel_names: list[str | None] = [None] + [k.name for k in all_kernels()]
+    eval_freqs = config.device.spec.evaluation_freqs_hz
+    jobs = [
+        Job(
+            kind="frequency-sweep",
+            spec=dict(page_name=page_name, kernel_name=name, config=config),
+            label=f"{page_name}+{name or 'solo'}",
+            cache_family="sweep",
+            cache_key=sweep_cache_key(page_name, name, eval_freqs, config),
+        )
+        for name in kernel_names
+    ]
+    sweeps = run_jobs(jobs, label="fig01 sweeps")
+    solo = {p.freq_hz: p.load_time_s for p in sweeps[0].value}
     per_kernel = {
-        kernel.name: {
-            p.freq_hz: p.load_time_s
-            for p in frequency_sweep(page_name, kernel.name, config)
-        }
-        for kernel in all_kernels()
+        name: {p.freq_hz: p.load_time_s for p in result.value}
+        for name, result in zip(kernel_names[1:], sweeps[1:])
     }
     for freq_hz in config.device.spec.evaluation_freqs_hz:
         loads = [
@@ -813,21 +831,37 @@ def _leakage_exhibit(
     report the strongest case.
     """
     from repro.experiments.cache import memoized
+    from repro.runtime import Job, run_jobs
 
     def build():
+        combos = all_combos()
+        names = ("DORA", "DORA_no_lkg")
+        jobs = [
+            Job(
+                kind="governor-run",
+                spec=dict(
+                    page_name=combo.page_name,
+                    kernel_name=combo.kernel_name,
+                    governor_name=name,
+                    predictor=predictor,
+                    config=warm_config,
+                ),
+                label=f"{combo.label}:{name}",
+            )
+            for combo in combos
+            for name in names
+        ]
+        outcomes = run_jobs(jobs, label="fig10 exhibit")
         best_label = None
         best_runs: dict[str, tuple[float, tuple[float, ...]]] = {}
         best_gain = 0.0
-        for combo in all_combos():
+        for combo_index, combo in enumerate(combos):
             runs = {}
-            for name in ("DORA", "DORA_no_lkg"):
-                governor = make_governor(name, predictor, warm_config)
-                result = run_workload(
-                    combo.page_name, combo.kernel_name, governor, warm_config
-                )
+            for name_index, name in enumerate(names):
+                outcome = outcomes[combo_index * len(names) + name_index].value
                 runs[name] = (
-                    result.ppw,
-                    tuple(sorted(set(result.decisions.frequencies_hz))),
+                    outcome.summary.ppw,
+                    tuple(sorted(set(outcome.decision_freqs_hz))),
                 )
             if runs["DORA_no_lkg"][0] <= 0:
                 continue

@@ -206,44 +206,71 @@ def run_kernel_alone(
 # ----------------------------------------------------------------------
 # Measured frequency sweeps and oracle points
 # ----------------------------------------------------------------------
+def sweep_cache_key(
+    page_name: str,
+    kernel_name: str | None,
+    freqs_hz: tuple[float, ...],
+    config: HarnessConfig,
+) -> tuple:
+    """Memo key of a fixed-frequency sweep (family ``"sweep"``).
+
+    Includes ``max_time_s``: the per-run timeout decides which points
+    survive a sweep, so results measured under a different timeout
+    must not be reused.
+    """
+    return (
+        "sweep",
+        page_name,
+        kernel_name,
+        tuple(freqs_hz),
+        config.dt_s,
+        config.max_time_s,
+        config.device.ambient.name,
+    )
+
+
 def frequency_sweep(
     page_name: str,
     kernel_name: str | None,
     config: HarnessConfig | None = None,
     freqs_hz: tuple[float, ...] | None = None,
+    workers: int | None = None,
 ) -> list[FrequencyPrediction]:
     """Measured (load time, power) at each fixed frequency.
 
     The returned points are *measured truth* (noise-free), used for
-    oracle analysis: fD / fE / fopt / Offline-opt.
+    oracle analysis: fD / fE / fopt / Offline-opt.  The per-frequency
+    runs are independent and fan out over the execution runtime;
+    ``workers=None`` defers to the runtime's configured default
+    (serial unless ``REPRO_WORKERS`` asks otherwise).
     """
+    from repro.runtime import Job, run_jobs
+
     config = config or HarnessConfig()
     freqs = freqs_hz or config.device.spec.evaluation_freqs_hz
 
     def build() -> list[FrequencyPrediction]:
-        points = []
-        for freq_hz in freqs:
-            governor = FixedFrequencyGovernor(freq_hz=freq_hz, label="fixed")
-            result = run_workload(page_name, kernel_name, governor, config)
-            if result.load_time_s is None:
-                continue
-            points.append(
-                FrequencyPrediction(
+        jobs = [
+            Job(
+                kind="sweep-point",
+                spec=dict(
+                    page_name=page_name,
+                    kernel_name=kernel_name,
                     freq_hz=freq_hz,
-                    load_time_s=result.load_time_s,
-                    power_w=result.avg_power_w,
-                )
+                    config=config,
+                ),
+                label=f"{page_name}+{kernel_name or 'solo'}@{freq_hz / 1e9:.2f}GHz",
             )
-        return points
+            for freq_hz in freqs
+        ]
+        results = run_jobs(
+            jobs,
+            workers=workers,
+            label=f"sweep {page_name}+{kernel_name or 'solo'}",
+        )
+        return [r.value for r in results if r.value is not None]
 
-    key = (
-        "sweep",
-        page_name,
-        kernel_name,
-        tuple(freqs),
-        config.dt_s,
-        config.device.ambient.name,
-    )
+    key = sweep_cache_key(page_name, kernel_name, tuple(freqs), config)
     return memoized("sweep", key, build)
 
 
@@ -343,7 +370,23 @@ def evaluate_combo(
             combo=combo, sweep=tuple(sweep), oracle=oracle, runs=runs
         )
 
-    key = (
+    key = combo_eval_cache_key(combo, governors, config)
+    return memoized("combo-eval", key, build)
+
+
+def combo_eval_cache_key(
+    combo: WorkloadCombo,
+    governors: tuple[str, ...],
+    config: HarnessConfig,
+) -> tuple:
+    """Memo key of one combo evaluation (family ``"combo-eval"``).
+
+    Shared between :func:`evaluate_combo` and the runtime's
+    cache-aware scheduler so a warm artifact skips the worker pool.
+    Includes ``max_time_s`` for the same staleness reason as
+    :func:`sweep_cache_key`.
+    """
+    return (
         "combo-eval",
         "v2",  # bump when the stored evaluation gains fields
         combo.page_name,
@@ -351,10 +394,10 @@ def evaluate_combo(
         tuple(sorted(governors)),
         config.deadline_s,
         config.dt_s,
+        config.max_time_s,
         config.dora_interval_s,
         config.device.ambient.name,
     )
-    return memoized("combo-eval", key, build)
 
 
 def evaluate_suite(
@@ -362,13 +405,47 @@ def evaluate_suite(
     combos: tuple[WorkloadCombo, ...] | None = None,
     governors: tuple[str, ...] = DEFAULT_COMPARISON,
     config: HarnessConfig | None = None,
+    workers: int | None = None,
+    progress=None,
 ) -> list[ComboEvaluation]:
-    """Evaluate (a subset of) the 54-workload suite."""
+    """Evaluate (a subset of) the 54-workload suite.
+
+    Combos are independent, so each one becomes a runtime job; warm
+    combos are served from the artifact cache without touching the
+    pool, cold ones are built by workers (which write the cache
+    themselves).  Parallel results are identical to serial ones: every
+    run is seeded and self-contained, and results are assembled in
+    combo order regardless of completion order.
+
+    Args:
+        workers: Worker processes (``None`` = runtime default,
+            ``0`` = in-process serial).
+        progress: Optional callback receiving one-line progress
+            reports.
+    """
+    from repro.runtime import Job, run_jobs
+
     config = config or HarnessConfig()
     combos = combos or all_combos()
-    return [
-        evaluate_combo(combo, predictor, governors, config) for combo in combos
+    jobs = [
+        Job(
+            kind="evaluate-combo",
+            spec=dict(
+                combo=combo,
+                predictor=predictor,
+                governors=governors,
+                config=config,
+            ),
+            label=combo.label,
+            cache_family="combo-eval",
+            cache_key=combo_eval_cache_key(combo, governors, config),
+        )
+        for combo in combos
     ]
+    results = run_jobs(
+        jobs, workers=workers, progress=progress, label="evaluate-suite"
+    )
+    return [result.value for result in results]
 
 
 def mean_normalized_ppw(

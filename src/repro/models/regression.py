@@ -125,7 +125,14 @@ class RegressionModel:
             raise ValueError("cannot fit on an empty dataset")
         means = inputs.mean(axis=0)
         scales = inputs.std(axis=0)
-        scales = np.where(scales > 0, scales, 1.0)
+        # A constant column's std is float rounding noise (~1e-16
+        # relative), not exactly zero.  Without a relative tolerance
+        # the column standardizes to amplified noise, earns a real
+        # coefficient, and explodes at prediction inputs off the
+        # training value (z ~ delta / 1e-16).  Treat it as constant so
+        # it drops out and unidentifiable directions extrapolate flat.
+        tolerance = 1e-9 * np.maximum(np.abs(means), 1.0)
+        scales = np.where(scales > tolerance, scales, 1.0)
         z = (inputs - means) / scales
         design = _expand(z, surface)
         if weights is not None:

@@ -173,41 +173,86 @@ def corunner_signals(
     return summary.mpki, min(1.0, utilization)
 
 
-def run_campaign(
-    config: TrainingConfig | None = None,
-    device_config: DeviceConfig | None = None,
-) -> list[Observation]:
-    """Execute the full measurement campaign.
+def measurement_rng(seed: int, index: int) -> np.random.Generator:
+    """The noise generator of campaign measurement ``index``.
 
-    With defaults this produces 14 pages x (3 co-runners + solo) x 14
-    frequencies = 784 observations, comfortably beyond the paper's
-    ">300 measurements".
+    Every measurement owns an independent stream spawned from the
+    campaign seed, so observations do not depend on the *order* the
+    measurements execute in -- the property that lets the parallel
+    runtime replay the campaign bit-identically to a serial loop.
     """
+    return np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(index,))
+    )
+
+
+def campaign_pairs(config: TrainingConfig) -> list[tuple[str, str | None]]:
+    """The (page, co-runner) pairs the campaign measures, in order."""
     from repro.experiments.suite import inclusive_combos, training_pages
 
-    config = config or TrainingConfig()
-    rng = np.random.default_rng(config.seed)
-    device = Device(device_config)
-    freqs = config.freqs_hz or device.spec.frequencies_hz
     pages = config.pages or training_pages()
     page_set = set(pages)
-
     pairs: list[tuple[str, str | None]] = []
     for combo in inclusive_combos():
         if combo.page_name in page_set:
             pairs.append((combo.page_name, combo.kernel_name))
     if config.include_solo:
         pairs.extend((page, None) for page in pages)
+    return pairs
 
-    observations = []
-    for page_name, kernel_name in pairs:
-        for freq_hz in freqs:
-            observation = measure_once(
-                page_name, kernel_name, freq_hz, rng, config, device_config
+
+def run_campaign(
+    config: TrainingConfig | None = None,
+    device_config: DeviceConfig | None = None,
+    workers: int | None = None,
+    progress=None,
+) -> list[Observation]:
+    """Execute the full measurement campaign.
+
+    With defaults this produces 14 pages x (3 co-runners + solo) x 14
+    frequencies = 784 observations, comfortably beyond the paper's
+    ">300 measurements".  Measurements are independent (each carries
+    its own seeded noise stream, see :func:`measurement_rng`) and fan
+    out over the execution runtime; the observation list comes back in
+    deterministic (pair-major, frequency-minor) order either way.
+
+    Args:
+        workers: Worker processes (``None`` = runtime default,
+            ``0`` = in-process serial).
+        progress: Optional callback receiving one-line progress
+            reports.
+    """
+    from repro.runtime import Job, run_jobs
+
+    config = config or TrainingConfig()
+    device = Device(device_config)
+    freqs = config.freqs_hz or device.spec.frequencies_hz
+    pairs = campaign_pairs(config)
+
+    jobs = []
+    for pair_index, (page_name, kernel_name) in enumerate(pairs):
+        for freq_index, freq_hz in enumerate(freqs):
+            index = pair_index * len(freqs) + freq_index
+            jobs.append(
+                Job(
+                    kind="campaign-measurement",
+                    spec=dict(
+                        page_name=page_name,
+                        kernel_name=kernel_name,
+                        freq_hz=freq_hz,
+                        seed=config.seed,
+                        index=index,
+                        config=config,
+                        device_config=device_config,
+                    ),
+                    label=f"{page_name}+{kernel_name or 'solo'}"
+                    f"@{freq_hz / 1e9:.2f}GHz",
+                )
             )
-            if observation is not None:
-                observations.append(observation)
-    return observations
+    results = run_jobs(
+        jobs, workers=workers, progress=progress, label="campaign"
+    )
+    return [r.value for r in results if r.value is not None]
 
 
 @dataclass

@@ -1,0 +1,254 @@
+"""Job and result abstractions for the execution runtime.
+
+A :class:`Job` is a self-contained, picklable description of one unit
+of work: a job *kind* naming the function to run plus a ``spec`` dict
+of keyword arguments.  Jobs deliberately carry **specs, not live
+objects** -- page and kernel names, governor names, a frozen
+:class:`~repro.experiments.harness.HarnessConfig` -- so a worker
+process rebuilds governors (and their mutable decision state) locally.
+Shipping a live governor would both bloat the pickle and share state
+that must be per-run.
+
+Kinds resolve in two ways:
+
+* a short name registered here via :func:`register` (the built-in
+  simulation kinds below), or
+* a dotted path ``"package.module:function"`` imported at execution
+  time (used by tests and ad-hoc callers).
+
+Execution (:func:`execute`) happens in whatever process calls it; the
+pool in :mod:`repro.runtime.pool` calls it from workers, the serial
+fallback calls it in-process.  Either way the observable behavior is
+identical, which is what makes parallel results bit-equal to serial
+ones.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+_KINDS: dict[str, Callable[..., Any]] = {}
+
+
+class JobError(RuntimeError):
+    """A job (or a batch of jobs) failed terminally."""
+
+
+def register(kind: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a function under a short job-kind name."""
+
+    def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        _KINDS[kind] = fn
+        return fn
+
+    return decorator
+
+
+def resolve(kind: str) -> Callable[..., Any]:
+    """The callable behind a job kind.
+
+    Args:
+        kind: A registered short name, or ``"module.path:attr"``.
+
+    Raises:
+        KeyError: For an unknown short name.
+    """
+    fn = _KINDS.get(kind)
+    if fn is not None:
+        return fn
+    if ":" in kind:
+        module_name, _, attr = kind.partition(":")
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+    raise KeyError(
+        f"unknown job kind {kind!r}; registered: {sorted(_KINDS)}"
+    )
+
+
+@dataclass(frozen=True)
+class Job:
+    """One picklable unit of work.
+
+    Attributes:
+        kind: Registered kind name or ``"module:function"`` path.
+        spec: Keyword arguments for the kind's function.  Everything in
+            here must pickle (names, configs, trained predictors --
+            never live governors or engines).
+        label: Short display label for progress reporting.
+        cache_family: Artifact family in :mod:`repro.experiments.cache`
+            holding this job's result, or ``None`` if uncached.
+        cache_key: The memo key under that family.  When both are set
+            the pool checks the cache *before* submitting, so warm
+            reruns never touch the worker pool.
+        timeout_s: Per-job wall-clock timeout enforced inside the
+            executing process (``None`` = no limit).
+    """
+
+    kind: str
+    spec: dict = field(default_factory=dict)
+    label: str = ""
+    cache_family: str | None = None
+    cache_key: Any = None
+    timeout_s: float | None = None
+
+    @property
+    def display_label(self) -> str:
+        """Label for progress lines (falls back to the kind)."""
+        return self.label or self.kind
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job.
+
+    Attributes:
+        job: The job that produced this result.
+        index: Position of the job in the submitted batch.
+        value: The function's return value (``None`` on failure).
+        error: Failure description, or ``None`` on success.
+        duration_s: Wall-clock build time (0 for cache hits).
+        attempts: Submission attempts consumed (crash retries count).
+        from_cache: Whether the value was loaded from the artifact
+            cache without running the job.
+        worker_pid: PID of the process that built the value.
+    """
+
+    job: Job
+    index: int
+    value: Any = None
+    error: str | None = None
+    duration_s: float = 0.0
+    attempts: int = 1
+    from_cache: bool = False
+    worker_pid: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a value."""
+        return self.error is None
+
+
+def execute(job: Job) -> Any:
+    """Run a job in the current process and return its value."""
+    return resolve(job.kind)(**job.spec)
+
+
+# ----------------------------------------------------------------------
+# Built-in simulation job kinds
+# ----------------------------------------------------------------------
+# The simulation imports live inside the functions: jobs.py must stay
+# importable from worker initializers without dragging in (or cycling
+# with) the harness, which itself imports the runtime.
+
+
+@dataclass(frozen=True)
+class GovernorRunOutcome:
+    """Picklable digest of one governor run (for fan-out callers).
+
+    Attributes:
+        summary: The run's measurement summary.
+        decision_freqs_hz: Frequencies the governor chose, in decision
+            order.
+    """
+
+    summary: Any
+    decision_freqs_hz: tuple[float, ...]
+
+
+@register("sweep-point")
+def sweep_point_job(
+    page_name: str, kernel_name: str | None, freq_hz: float, config: Any
+) -> Any:
+    """Measure one fixed-frequency point of a sweep.
+
+    Returns ``None`` when the run times out (the sweep skips it).
+    """
+    from repro.core.governors import FixedFrequencyGovernor
+    from repro.core.ppw import FrequencyPrediction
+    from repro.experiments.harness import run_workload
+
+    governor = FixedFrequencyGovernor(freq_hz=freq_hz, label="fixed")
+    result = run_workload(page_name, kernel_name, governor, config)
+    if result.load_time_s is None:
+        return None
+    return FrequencyPrediction(
+        freq_hz=freq_hz,
+        load_time_s=result.load_time_s,
+        power_w=result.avg_power_w,
+    )
+
+
+@register("frequency-sweep")
+def frequency_sweep_job(
+    page_name: str,
+    kernel_name: str | None,
+    config: Any,
+    freqs_hz: tuple[float, ...] | None = None,
+) -> Any:
+    """Run (or load from cache) a whole fixed-frequency sweep."""
+    from repro.experiments.harness import frequency_sweep
+
+    return frequency_sweep(page_name, kernel_name, config, freqs_hz)
+
+
+@register("evaluate-combo")
+def evaluate_combo_job(
+    combo: Any, predictor: Any, governors: tuple[str, ...], config: Any
+) -> Any:
+    """Evaluate one workload combo (cache-backed in the worker)."""
+    from repro.experiments.harness import evaluate_combo
+
+    return evaluate_combo(combo, predictor, governors, config)
+
+
+@register("governor-run")
+def governor_run_job(
+    page_name: str,
+    kernel_name: str | None,
+    governor_name: str,
+    predictor: Any,
+    config: Any,
+    deadline_s: float | None = None,
+) -> GovernorRunOutcome:
+    """Run one workload under a governor rebuilt from its name."""
+    from repro.experiments.harness import (
+        RunSummary,
+        make_governor,
+        run_workload,
+    )
+
+    governor = make_governor(governor_name, predictor, config)
+    result = run_workload(
+        page_name, kernel_name, governor, config, deadline_s=deadline_s
+    )
+    return GovernorRunOutcome(
+        summary=RunSummary.from_result(result),
+        decision_freqs_hz=tuple(result.decisions.frequencies_hz),
+    )
+
+
+@register("campaign-measurement")
+def campaign_measurement_job(
+    page_name: str,
+    kernel_name: str | None,
+    freq_hz: float,
+    seed: int,
+    index: int,
+    config: Any,
+    device_config: Any = None,
+) -> Any:
+    """Take one training-campaign measurement.
+
+    The noise generator is derived from ``(seed, index)`` so every
+    measurement owns an independent, order-free stream -- the property
+    that makes the campaign's parallel and serial schedules produce
+    identical observations.
+    """
+    from repro.models.training import measure_once, measurement_rng
+
+    rng = measurement_rng(seed, index)
+    return measure_once(
+        page_name, kernel_name, freq_hz, rng, config, device_config
+    )

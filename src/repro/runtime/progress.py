@@ -1,0 +1,201 @@
+"""Progress and metrics telemetry for the execution runtime.
+
+The pool reports every job event (queued, started, cached, finished,
+failed, retried) to a :class:`ProgressTracker`.  The tracker keeps
+counters and per-job durations, and emits rate-limited one-line
+reports through a callback -- the CLI hooks stderr printing into it,
+library callers can capture the lines or poll :meth:`snapshot`.
+
+The tracker never imports the pool or the simulator, so it is equally
+usable for serial runs (where it degrades to a plain counter).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """Point-in-time view of a batch of jobs.
+
+    Attributes:
+        label: Batch name (e.g. ``"evaluate-suite"``).
+        total: Jobs in the batch.
+        done: Jobs finished successfully (cache hits included).
+        cached: Jobs satisfied from the artifact cache.
+        built: Jobs that actually executed to completion.
+        failed: Jobs that failed terminally.
+        retried: Crash-retry resubmissions performed so far.
+        running: Jobs currently executing (in-flight jobs, capped at
+            the batch's concurrency when one was declared -- a pool
+            only executes ``workers`` jobs at a time no matter how
+            many are submitted).
+        elapsed_s: Wall-clock seconds since the batch started.
+        mean_duration_s: Mean per-job build time (built jobs only).
+    """
+
+    label: str
+    total: int
+    done: int
+    cached: int
+    built: int
+    failed: int
+    retried: int
+    running: int
+    elapsed_s: float
+    mean_duration_s: float
+
+    @property
+    def queued(self) -> int:
+        """Jobs not yet submitted (or waiting for a retry slot)."""
+        return max(0, self.total - self.done - self.failed - self.running)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every job reached a terminal state."""
+        return self.done + self.failed >= self.total
+
+    def line(self) -> str:
+        """One human-readable progress line."""
+        parts = [f"[{self.label}] {self.done}/{self.total} done"]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        if self.running:
+            parts.append(f"{self.running} running")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        if self.built:
+            parts.append(f"avg {self.mean_duration_s:.2f}s/job")
+        parts.append(f"elapsed {self.elapsed_s:.1f}s")
+        return " · ".join(parts)
+
+
+class ProgressTracker:
+    """Counters + rate-limited reporting for one batch of jobs.
+
+    Args:
+        total: Number of jobs in the batch.
+        label: Batch name used in report lines.
+        callback: Receives each report line; ``None`` disables output
+            (counters still accumulate).
+        interval_s: Minimum seconds between periodic report lines.
+            Terminal reports (:meth:`close`) always emit.
+        clock: Injectable monotonic clock (tests).
+        concurrency: Worker count of the batch, if bounded.  Submitted
+            jobs beyond it are reported as queued, not running (the
+            pool submits everything upfront but a start event is only
+            observable at submission time).  0 means unbounded/serial.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "jobs",
+        callback: Callable[[str], None] | None = None,
+        interval_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+        concurrency: int = 0,
+    ) -> None:
+        self.label = label
+        self.total = total
+        self._callback = callback
+        self._interval_s = interval_s
+        self._concurrency = max(0, concurrency)
+        self._clock = clock
+        self._started_at = clock()
+        self._last_report = float("-inf")
+        self._lock = threading.Lock()
+        self._running = 0
+        self._cached = 0
+        self._built = 0
+        self._failed = 0
+        self._retried = 0
+        self._durations: list[float] = []
+
+    # -- events -------------------------------------------------------
+    def started(self, job) -> None:
+        """A job was submitted (or began executing serially)."""
+        with self._lock:
+            self._running += 1
+        self._maybe_report()
+
+    def cached(self, job) -> None:
+        """A job was satisfied from the artifact cache."""
+        with self._lock:
+            self._cached += 1
+        self._maybe_report()
+
+    def finished(self, job, duration_s: float) -> None:
+        """A job executed to completion."""
+        with self._lock:
+            self._running = max(0, self._running - 1)
+            self._built += 1
+            self._durations.append(duration_s)
+        self._maybe_report()
+
+    def failed(self, job, error: str) -> None:
+        """A job failed terminally."""
+        with self._lock:
+            self._running = max(0, self._running - 1)
+            self._failed += 1
+        self.note(f"[{self.label}] FAILED {job.display_label}: {error}")
+
+    def retrying(self, job, attempt: int) -> None:
+        """A job is being resubmitted after a worker crash."""
+        with self._lock:
+            self._running = max(0, self._running - 1)
+            self._retried += 1
+        self.note(
+            f"[{self.label}] retrying {job.display_label} "
+            f"(attempt {attempt + 1}) after worker crash"
+        )
+
+    def note(self, message: str) -> None:
+        """Emit an unconditional out-of-band line."""
+        if self._callback is not None:
+            self._callback(message)
+
+    def close(self) -> None:
+        """Emit the final summary line."""
+        self._maybe_report(force=True)
+
+    # -- views --------------------------------------------------------
+    def snapshot(self) -> ProgressSnapshot:
+        """The current counters as an immutable snapshot."""
+        with self._lock:
+            built = self._built
+            mean = (
+                sum(self._durations) / len(self._durations)
+                if self._durations
+                else 0.0
+            )
+            running = self._running
+            if self._concurrency:
+                running = min(running, self._concurrency)
+            return ProgressSnapshot(
+                label=self.label,
+                total=self.total,
+                done=self._cached + built,
+                cached=self._cached,
+                built=built,
+                failed=self._failed,
+                retried=self._retried,
+                running=running,
+                elapsed_s=self._clock() - self._started_at,
+                mean_duration_s=mean,
+            )
+
+    def _maybe_report(self, force: bool = False) -> None:
+        if self._callback is None:
+            return
+        now = self._clock()
+        if not force and now - self._last_report < self._interval_s:
+            return
+        self._last_report = now
+        self._callback(self.snapshot().line())

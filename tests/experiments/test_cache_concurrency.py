@@ -1,0 +1,73 @@
+"""Multi-process stress of the on-disk cache.
+
+Eight processes hammer one memoized key simultaneously.  The atomic
+publish protocol (pid-unique temp file + ``os.replace``) must leave
+exactly one valid artifact and no partial files, and every process
+must read back the same value.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.experiments import cache
+from tests.runtime.jobhelpers import memoized_build
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    return tmp_path
+
+
+def test_eight_processes_hammering_one_key(cache_dir):
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=8) as pool:
+        results = pool.starmap(
+            memoized_build,
+            [(str(cache_dir), "contended", 50_000) for _ in range(8)],
+        )
+    expected = {"key": "contended", "payload": list(range(50_000))}
+    assert all(result == expected for result in results)
+    artifacts = list(cache_dir.glob("stress-*.pkl"))
+    assert len(artifacts) == 1, "racing writers must converge on one file"
+    assert not list(cache_dir.glob("*.tmp")), "no partial files left behind"
+
+
+def test_store_uses_pid_unique_temp_name(cache_dir):
+    # Two processes writing the same key must not collide on the temp
+    # path; the pid suffix guarantees distinct intermediate files.
+    cache.store("unit", ("k",), {"v": 1})
+    tmp_names = [p.name for p in cache_dir.glob("*.tmp")]
+    assert tmp_names == []  # publish is atomic: nothing lingers
+    path = cache.artifact_path("unit", ("k",))
+    assert path.exists()
+    hit, value = cache.peek("unit", ("k",))
+    assert hit and value == {"v": 1}
+
+
+def test_clear_removes_orphaned_temp_files(cache_dir):
+    cache.store("unit", ("k",), {"v": 1})
+    orphan = cache_dir / f"unit-deadbeef.pkl.{os.getpid()}.tmp"
+    orphan.write_bytes(b"half-written garbage")
+    cache.clear()
+    assert not list(cache_dir.glob("*.pkl"))
+    assert not list(cache_dir.glob("*.tmp"))
+
+
+def test_corrupt_artifact_is_rebuilt(cache_dir):
+    calls = []
+
+    def build():
+        calls.append(1)
+        return "fresh"
+
+    assert cache.memoized("unit", ("corrupt",), build) == "fresh"
+    path = cache.artifact_path("unit", ("corrupt",))
+    path.write_bytes(b"not a pickle")
+    assert cache.memoized("unit", ("corrupt",), build) == "fresh"
+    assert len(calls) == 2

@@ -1,0 +1,81 @@
+"""Parallel execution must be bit-identical to serial execution.
+
+The acceptance bar for the runtime: fanning work over processes is an
+implementation detail, never a source of numeric drift.  These tests
+run the same workloads serially and with a worker pool and compare
+every result field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.harness import evaluate_suite, frequency_sweep
+from repro.experiments.suite import WorkloadCombo
+from repro.models.training import TrainingConfig, run_campaign
+from repro.workloads.classification import MemoryIntensity
+
+
+@pytest.fixture(autouse=True)
+def cold_cache(monkeypatch):
+    """Force real computation so parallel and serial paths both run."""
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+
+FOUR_COMBOS = (
+    WorkloadCombo("amazon", "kmeans", MemoryIntensity.LOW, True),
+    WorkloadCombo("msn", "bfs", MemoryIntensity.MEDIUM, True),
+    WorkloadCombo("espn", "backprop", MemoryIntensity.HIGH, True),
+    WorkloadCombo("cnn", "srad2", MemoryIntensity.MEDIUM, False),
+)
+
+
+def test_parallel_evaluate_suite_matches_serial(small_predictor, fast_config):
+    governors = ("interactive", "performance", "EE")
+    serial = evaluate_suite(
+        small_predictor, combos=FOUR_COMBOS, governors=governors,
+        config=fast_config, workers=0,
+    )
+    parallel = evaluate_suite(
+        small_predictor, combos=FOUR_COMBOS, governors=governors,
+        config=fast_config, workers=4,
+    )
+    assert len(serial) == len(parallel) == len(FOUR_COMBOS)
+    for combo_serial, combo_parallel in zip(serial, parallel):
+        assert combo_serial.combo == combo_parallel.combo
+        assert set(combo_serial.runs) == set(combo_parallel.runs)
+        for name in combo_serial.runs:
+            lhs = combo_serial.runs[name]
+            rhs = combo_parallel.runs[name]
+            assert dataclasses.asdict(lhs) == dataclasses.asdict(rhs), (
+                f"{combo_serial.combo.label}/{name} diverged between "
+                "serial and parallel execution"
+            )
+        assert dataclasses.asdict(combo_serial) == dataclasses.asdict(
+            combo_parallel
+        )
+
+
+def test_parallel_sweep_matches_serial(fast_config):
+    serial = frequency_sweep("msn", "bfs", fast_config, workers=0)
+    parallel = frequency_sweep("msn", "bfs", fast_config, workers=2)
+    assert [dataclasses.asdict(p) for p in serial] == [
+        dataclasses.asdict(p) for p in parallel
+    ]
+
+
+def test_parallel_campaign_matches_serial():
+    config = TrainingConfig(
+        pages=("amazon",),
+        freqs_hz=(1190.4e6, 2265.6e6),
+        dt_s=0.004,
+        seed=11,
+    )
+    serial = run_campaign(config, workers=0)
+    parallel = run_campaign(config, workers=2)
+    assert len(serial) == len(parallel)
+    for lhs, rhs in zip(serial, parallel):
+        assert dataclasses.asdict(lhs) == dataclasses.asdict(rhs)

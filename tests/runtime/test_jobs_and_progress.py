@@ -1,0 +1,132 @@
+"""Unit tests for the job abstraction and progress telemetry."""
+
+import pytest
+
+from repro.runtime import (
+    Job,
+    JobResult,
+    ProgressTracker,
+    execute,
+    register,
+    resolve,
+)
+
+
+class TestJobResolution:
+    def test_registered_kind_resolves(self):
+        assert resolve("sweep-point").__name__ == "sweep_point_job"
+
+    def test_dotted_path_resolves(self):
+        fn = resolve("tests.runtime.jobhelpers:square")
+        assert fn(7) == 49
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            resolve("does-not-exist")
+
+    def test_register_decorator_installs_kind(self):
+        @register("test-double")
+        def _double(value):
+            return 2 * value
+
+        assert execute(Job(kind="test-double", spec={"value": 21})) == 42
+
+    def test_execute_passes_spec_as_kwargs(self):
+        job = Job(kind="tests.runtime.jobhelpers:echo", spec={"value": "x"})
+        assert execute(job) == "x"
+
+    def test_display_label_falls_back_to_kind(self):
+        assert Job(kind="k").display_label == "k"
+        assert Job(kind="k", label="nice").display_label == "nice"
+
+    def test_job_result_ok(self):
+        job = Job(kind="k")
+        assert JobResult(job=job, index=0, value=1).ok
+        assert not JobResult(job=job, index=0, error="boom").ok
+
+
+class TestProgressTracker:
+    def _tracker(self, total=4, **kwargs):
+        lines = []
+        clock = iter(float(i) for i in range(1000))
+        tracker = ProgressTracker(
+            total=total,
+            label="unit",
+            callback=lines.append,
+            interval_s=0.0,
+            clock=lambda: next(clock),
+            **kwargs,
+        )
+        return tracker, lines
+
+    def test_counters_accumulate(self):
+        tracker, _ = self._tracker()
+        job = Job(kind="k", label="j")
+        tracker.cached(job)
+        tracker.started(job)
+        tracker.finished(job, duration_s=2.0)
+        tracker.started(job)
+        tracker.failed(job, "boom")
+        snapshot = tracker.snapshot()
+        assert snapshot.done == 2
+        assert snapshot.cached == 1
+        assert snapshot.built == 1
+        assert snapshot.failed == 1
+        assert snapshot.running == 0
+        assert snapshot.mean_duration_s == pytest.approx(2.0)
+
+    def test_queued_and_complete(self):
+        tracker, _ = self._tracker(total=3)
+        job = Job(kind="k")
+        tracker.cached(job)
+        snapshot = tracker.snapshot()
+        assert snapshot.queued == 2
+        assert not snapshot.complete
+        tracker.finished(job, 0.1)
+        tracker.failed(job, "x")
+        assert tracker.snapshot().complete
+
+    def test_line_mentions_the_essentials(self):
+        tracker, lines = self._tracker(total=2)
+        job = Job(kind="k", label="combo")
+        tracker.cached(job)
+        tracker.started(job)
+        tracker.finished(job, 1.0)
+        tracker.close()
+        final = lines[-1]
+        assert "[unit] 2/2 done" in final
+        assert "1 cached" in final
+
+    def test_failure_emits_labelled_line(self):
+        tracker, lines = self._tracker()
+        tracker.failed(Job(kind="k", label="espn+bfs"), "exploded")
+        assert any("FAILED espn+bfs" in line for line in lines)
+
+    def test_retry_emits_line_and_counts(self):
+        tracker, lines = self._tracker()
+        tracker.retrying(Job(kind="k", label="j"), attempt=1)
+        assert tracker.snapshot().retried == 1
+        assert any("retrying j" in line for line in lines)
+
+    def test_silent_without_callback(self):
+        tracker = ProgressTracker(total=1, callback=None)
+        tracker.started(Job(kind="k"))
+        tracker.finished(Job(kind="k"), 0.1)
+        tracker.close()  # must not raise
+        assert tracker.snapshot().done == 1
+
+    def test_interval_rate_limits_periodic_lines(self):
+        lines = []
+        times = iter([0.0, 0.1, 0.2, 0.3, 5.0, 5.0, 6.0])
+        tracker = ProgressTracker(
+            total=10,
+            callback=lines.append,
+            interval_s=2.0,
+            clock=lambda: next(times),
+        )
+        job = Job(kind="k")
+        tracker.started(job)      # t=0.1 -> first report
+        tracker.finished(job, 0)  # t=0.2 -> suppressed
+        tracker.started(job)      # t=0.3 -> suppressed
+        tracker.finished(job, 0)  # t=5.0 -> reported
+        assert len(lines) == 2
