@@ -59,6 +59,41 @@ def default_predictor(config: TrainingConfig | None = None) -> DoraPredictor:
     return default_trained_models(config).predictor
 
 
+def make_decision_service(
+    predictor: DoraPredictor | None = None,
+    max_batch_size: int = 64,
+    max_wait_s: float = 0.005,
+    include_leakage: bool = True,
+    qos_margin: float = 0.0,
+):
+    """A ready :class:`repro.serve.DecisionService` over the default models.
+
+    Decisions are bit-identical to a scalar
+    :class:`~repro.core.dora.DoraGovernor` built from the same bundle
+    with the same ``include_leakage`` / ``qos_margin``; see
+    :mod:`repro.serve` for the batching semantics.
+
+    Args:
+        predictor: Trained bundle (default: :func:`default_predictor`,
+            training on first use).
+        max_batch_size: Flush as soon as this many requests pend.
+        max_wait_s: Flush once the oldest request waited this long.
+        include_leakage: ``False`` serves the DORA_no_lkg ablation.
+        qos_margin: Deadline safety margin in ``[0, 1)``.
+    """
+    from repro.serve.service import DecisionService, ServiceConfig
+
+    return DecisionService(
+        predictor if predictor is not None else default_predictor(),
+        config=ServiceConfig(
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            include_leakage=include_leakage,
+            qos_margin=qos_margin,
+        ),
+    )
+
+
 def quick_run(
     page: str,
     kernel: str | None = None,

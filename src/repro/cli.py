@@ -5,6 +5,9 @@ Commands:
 * ``list`` -- the available pages, co-runner kernels, and governors.
 * ``run`` -- load one page under a governor and print the measurement.
 * ``sweep`` -- fixed-frequency sweep of one workload (oracle analysis).
+* ``serve-bench`` -- benchmark the batched decision service against
+  the scalar per-request loop (latency percentiles, throughput,
+  speedup, fopt equivalence).
 * ``figures`` -- regenerate paper figures (all or a selection), with
   optional CSV export.
 * ``train`` -- run the measurement campaign, train, and save the model
@@ -211,6 +214,67 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.api import default_predictor
+    from repro.experiments.harness import HarnessConfig
+    from repro.experiments.suite import all_combos
+    from repro.serve.loadgen import LoadgenConfig, run_serve_bench
+
+    _setup_runtime(args)
+    if args.smoke:
+        # CI-sized: two-page training campaign, coarse engine step,
+        # three harvested combos -- exercises every layer in seconds.
+        from repro.models.training import TrainingConfig
+
+        predictor = default_predictor(
+            TrainingConfig(
+                pages=("amazon", "espn"),
+                freqs_hz=(729.6e6, 1190.4e6, 1728.0e6, 2265.6e6),
+                dt_s=0.004,
+                seed=7,
+            )
+        )
+        harness = HarnessConfig(dt_s=0.004)
+        combos = all_combos()[:3]
+    else:
+        predictor = default_predictor()
+        harness = HarnessConfig()
+        combos = all_combos()[: args.trace_combos]
+    config = LoadgenConfig(
+        devices=args.devices,
+        requests=args.requests,
+        target_qps=args.qps,
+        max_batch_size=args.batch_size,
+        max_wait_s=args.max_wait_ms / 1e3,
+        qos_margin=args.qos_margin,
+    )
+    result = run_serve_bench(
+        predictor,
+        config,
+        harness_config=harness,
+        combos=combos,
+        output_path=args.output,
+    )
+    record = result.to_record()
+    latency = record["latency"]
+    print(f"requests    : {record['requests']} over {record['devices']} devices")
+    print(
+        f"batching    : {record['batches']} passes, "
+        f"mean {record['mean_batch_size']}, largest {record['largest_batch']}, "
+        f"{record['rejected']} rejected"
+    )
+    print(
+        f"latency     : p50 {latency['p50_ms']:.3f} ms, "
+        f"p95 {latency['p95_ms']:.3f} ms, p99 {latency['p99_ms']:.3f} ms"
+    )
+    print(f"throughput  : {record['throughput_rps']:.0f} decisions/s "
+          f"(scalar {record['scalar_rps']:.0f}/s, {record['speedup']:.1f}x)")
+    print(f"equivalence : {record['fopt_mismatches']} fopt mismatches vs scalar")
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0 if record["fopt_mismatches"] == 0 else 1
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.api import default_trained_models
     from repro.models.serialization import save_predictor
@@ -278,6 +342,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(figures_parser)
     figures_parser.set_defaults(func=_cmd_figures)
+
+    serve_parser = commands.add_parser(
+        "serve-bench", help="benchmark the batched decision service"
+    )
+    serve_parser.add_argument("--devices", type=int, default=32)
+    serve_parser.add_argument("--requests", type=int, default=512)
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=64, help="service flush-on-size"
+    )
+    serve_parser.add_argument(
+        "--max-wait-ms", type=float, default=5.0, help="service flush-on-wait"
+    )
+    serve_parser.add_argument(
+        "--qps", type=float, default=5000.0, help="virtual arrival rate"
+    )
+    serve_parser.add_argument(
+        "--qos-margin", type=float, default=0.0, help="deadline safety margin"
+    )
+    serve_parser.add_argument(
+        "--trace-combos", type=int, default=6,
+        help="suite workloads to harvest counter traces from",
+    )
+    serve_parser.add_argument(
+        "--output", default=None, metavar="JSON",
+        help="write the bench record (e.g. BENCH_serve.json)",
+    )
+    serve_parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized models and harvest (seconds, not minutes)",
+    )
+    _add_workers_flag(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve_bench)
 
     train_parser = commands.add_parser("train", help="train + save models")
     train_parser.add_argument("--output", default=None, metavar="JSON")

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class FrequencyPrediction:
@@ -93,21 +95,75 @@ def find_fd(
     return None
 
 
+def select_fopt_rows(
+    load_times_s: np.ndarray,
+    powers_w: np.ndarray,
+    deadlines_s: np.ndarray,
+) -> np.ndarray:
+    """Vectorized Algorithm 1 over many prediction rows at once.
+
+    This is the single implementation of the fopt decision rule: the
+    scalar :func:`select_fopt` delegates here with one row, and the
+    batched decision service (:mod:`repro.serve`) calls it with a
+    (requests, frequencies) matrix.  Every operation is element-wise or
+    an independent per-row reduction, so a row's answer is bit-identical
+    whether it is decided alone or inside a batch of thousands.
+
+    Args:
+        load_times_s: Predicted load times, shape (rows, freqs).
+            Columns must be sorted ascending by frequency.
+        powers_w: Predicted powers, same shape.
+        deadlines_s: Effective deadline per row, shape (rows,).
+
+    Returns:
+        Column index of fopt for each row: the PPW-max feasible column,
+        or the last (highest-frequency) column when no column meets the
+        row's deadline.  Ties resolve to the lowest frequency, matching
+        Python's ``max`` over a frequency-ascending table.
+    """
+    load = np.asarray(load_times_s, dtype=float)
+    power = np.asarray(powers_w, dtype=float)
+    deadlines = np.asarray(deadlines_s, dtype=float)
+    if load.ndim != 2 or load.shape != power.shape:
+        raise ValueError("load times and powers must share a 2-D shape")
+    if load.shape[1] == 0:
+        raise ValueError("prediction table must not be empty")
+    if deadlines.shape != (load.shape[0],):
+        raise ValueError("need exactly one deadline per row")
+    if np.any(deadlines <= 0):
+        raise ValueError("deadline must be positive")
+    if np.any(load <= 0) or np.any(power <= 0):
+        raise ValueError("load time and power must be positive")
+    ppw_table = 1.0 / (load * power)
+    feasible = load <= deadlines[:, None]
+    scored = np.where(feasible, ppw_table, -np.inf)
+    # argmax returns the first maximum, i.e. the lowest frequency among
+    # PPW ties -- the same element Python's max() picks from a
+    # frequency-ascending list.
+    choice = np.argmax(scored, axis=1)
+    choice[~feasible.any(axis=1)] = load.shape[1] - 1
+    return choice
+
+
 def select_fopt(
     predictions: Sequence[FrequencyPrediction], deadline_s: float
 ) -> FrequencyPrediction:
     """Algorithm 1: the PPW-max deadline-meeting point.
 
     Falls back to the highest frequency when no operating point meets
-    the deadline (load as fast as possible).
+    the deadline (load as fast as possible).  Delegates to
+    :func:`select_fopt_rows` with a single row, so the scalar governors
+    and the batched decision service share one decision rule.
     """
     if deadline_s <= 0:
         raise ValueError("deadline must be positive")
     table = _sorted_by_freq(predictions)
-    feasible = [p for p in table if p.load_time_s <= deadline_s]
-    if not feasible:
-        return table[-1]
-    return max(feasible, key=lambda p: p.ppw)
+    load = np.array([p.load_time_s for p in table], dtype=float)
+    power = np.array([p.power_w for p in table], dtype=float)
+    index = select_fopt_rows(
+        load[None, :], power[None, :], np.array([deadline_s])
+    )
+    return table[int(index[0])]
 
 
 def ppw_under_error(

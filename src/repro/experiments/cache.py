@@ -26,10 +26,11 @@ from pathlib import Path
 from typing import Any, Callable
 
 #: Bump when the simulator's physics calibration changes; invalidates
-#: every cached artifact.  v10: the training campaign switched to
-#: per-measurement noise streams (order-independent seeding), changing
-#: every trained-model artifact and its downstream evaluations.
-CALIBRATION_TAG = "dora-repro-v10"
+#: every cached artifact.  v11: online prediction moved onto the
+#: batch-size-invariant vectorized kernel (per-row pairwise sums
+#: instead of BLAS matmul), shifting predictions by ~1 ulp and thus
+#: potentially any cached governor decision downstream.
+CALIBRATION_TAG = "dora-repro-v11"
 
 
 def cache_dir() -> Path:

@@ -18,6 +18,9 @@ the true cost of hot, high-voltage operating points.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
 
 from repro.browser.dom import PageFeatures
 from repro.core.ppw import FrequencyPrediction
@@ -77,6 +80,32 @@ class DoraPredictor:
             corunner_utilization=corunner_utilization,
         )
 
+    @cached_property
+    def _batch(self):
+        """The vectorized evaluation kernel (built lazily, cached).
+
+        Imported at first use: :mod:`repro.serve.batch_predictor` sits
+        below this module in the dependency order, but the ``serve``
+        package as a whole also contains the service/loadgen layers
+        that sit above the experiments harness.
+        """
+        from repro.serve.batch_predictor import BatchDoraPredictor
+
+        return BatchDoraPredictor.from_bundle(self)
+
+    def batch_kernel(self):
+        """The shared vectorized kernel (same instance the scalar sweep
+        uses), for callers that batch many requests per pass."""
+        return self._batch
+
+    def __getstate__(self) -> dict:
+        """Drop the derived kernel cache from pickles (runtime jobs
+        ship predictors to worker processes; the kernel rebuilds
+        cheaply on the other side)."""
+        state = dict(self.__dict__)
+        state.pop("_batch", None)
+        return state
+
     def predict_at(
         self,
         page_features: PageFeatures,
@@ -86,7 +115,14 @@ class DoraPredictor:
         freq_hz: float,
         include_leakage: bool = True,
     ) -> FrequencyPrediction:
-        """Predicted (load time, power) at one candidate frequency."""
+        """Predicted (load time, power) at one candidate frequency.
+
+        This is the straight-line single-point reference: one Table-I
+        row, one piecewise lookup, one scalar leakage evaluation.  The
+        online sweep (:meth:`prediction_table`) goes through the
+        vectorized kernel instead; ``tests/serve`` cross-checks the two
+        against each other.
+        """
         row = self.row_for(
             page_features, corunner_mpki, corunner_utilization, freq_hz
         )
@@ -107,15 +143,27 @@ class DoraPredictor:
         temperature_c: float,
         include_leakage: bool = True,
     ) -> list[FrequencyPrediction]:
-        """Predictions at every candidate frequency (Algorithm 1's loop)."""
+        """Predictions at every candidate frequency (Algorithm 1's sweep).
+
+        Evaluates through the vectorized kernel with a batch of one, so
+        a scalar governor decision and a batched
+        :mod:`repro.serve` decision over the same inputs see the same
+        bits.
+        """
+        load, power = self._batch.predict(
+            pages=np.array([page_features.as_tuple()], dtype=float),
+            corunner_mpki=np.array([corunner_mpki], dtype=float),
+            corunner_utilization=np.array([corunner_utilization], dtype=float),
+            temperatures_c=np.array([temperature_c], dtype=float),
+            include_leakage=include_leakage,
+        )
         return [
-            self.predict_at(
-                page_features,
-                corunner_mpki,
-                corunner_utilization,
-                temperature_c,
-                freq_hz,
-                include_leakage=include_leakage,
+            FrequencyPrediction(
+                freq_hz=float(freq_hz),
+                load_time_s=float(load_time_s),
+                power_w=float(power_w),
             )
-            for freq_hz in self.candidates()
+            for freq_hz, load_time_s, power_w in zip(
+                self._batch.freqs_hz, load[0], power[0]
+            )
         ]

@@ -173,6 +173,27 @@ class RegressionModel:
         """Predict a single raw feature row."""
         return float(self.predict(row.reshape(1, -1))[0])
 
+    def predict_rows(self, inputs: np.ndarray) -> np.ndarray:
+        """Batch-size-invariant predictions for raw feature rows.
+
+        :meth:`predict` reduces the expanded design with a BLAS matmul,
+        whose summation order may depend on operand shapes; this path
+        multiplies by the coefficients element-wise and reduces each row
+        with NumPy's per-row pairwise sum, so any row's prediction is
+        bit-identical whether evaluated alone or stacked in a batch of
+        thousands.  The online decision paths (scalar governor and the
+        batched serve kernel) both evaluate through here, which is what
+        makes their decisions comparable bit-for-bit.
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if inputs.shape[1] != self.means.shape[0]:
+            raise ValueError(
+                f"expected {self.means.shape[0]} features, got {inputs.shape[1]}"
+            )
+        z = (inputs - self.means) / self.scales
+        design = _expand(z, self.surface)
+        return (design * self.coefficients).sum(axis=1)
+
     def residuals(self, inputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
         """Prediction minus target for a labelled set."""
         targets = np.asarray(targets, dtype=float)

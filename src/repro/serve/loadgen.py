@@ -1,0 +1,508 @@
+"""Synthetic fleet driver for the decision service.
+
+The generator replays *real* counter dynamics: it first harvests
+(MPKI, utilization, temperature) observation traces by running suite
+workloads through the simulator under a recording ``interactive``
+governor, then replays those traces as a fleet of N devices submitting
+decision requests at a target QPS.  Arrivals advance a virtual clock
+(so batching behaviour is deterministic and no wall time is wasted
+sleeping), while each request's decision latency -- submit call to
+response -- is measured on the wall clock.
+
+``run_serve_bench`` packages the whole thing: harvest, replay, a
+scalar per-request baseline over the identical stream, a full
+fopt-equality cross-check between the two, and a ``BENCH_serve.json``
+record with p50/p95/p99 latency, throughput and the batched-vs-scalar
+speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.browser.dom import PageFeatures
+from repro.browser.pages import page_by_name
+from repro.core.governors import InteractiveGovernor
+from repro.core.ppw import select_fopt
+from repro.experiments.cache import memoized
+from repro.experiments.harness import HarnessConfig, run_workload
+from repro.experiments.suite import WorkloadCombo, all_combos
+from repro.serve.service import (
+    DecisionRequest,
+    DecisionResponse,
+    DecisionService,
+    ServiceConfig,
+)
+from repro.sim.governor import Governor, RunContext
+from repro.soc.counters import CounterSample
+
+
+@dataclass(frozen=True)
+class CounterObservation:
+    """One decision interval's counter readings, as DORA sees them.
+
+    Attributes:
+        time_s: Seconds into the load when the window was drained.
+        corunner_mpki: Co-runner shared-L2 MPKI over the window.
+        corunner_utilization: Co-runner core utilization in ``[0, 1]``.
+        temperature_c: Package temperature at the sample.
+    """
+
+    time_s: float
+    corunner_mpki: float
+    corunner_utilization: float
+    temperature_c: float
+
+
+#: What a governor sees before its first counter window closes
+#: (mirrors DoraGovernor's no-sample defaults).
+_COLD_OBSERVATION = CounterObservation(
+    time_s=0.0, corunner_mpki=0.0, corunner_utilization=0.0, temperature_c=45.0
+)
+
+
+@dataclass(frozen=True)
+class DeviceTrace:
+    """One device's replayable request material.
+
+    Attributes:
+        page_name: The page this device keeps loading.
+        kernel_name: Its co-runner (``None`` = solo).
+        page: The page's pre-computed complexity census.
+        deadline_s: The device's QoS deadline.
+        observations: Harvested counter windows, in load order.
+    """
+
+    page_name: str
+    kernel_name: str | None
+    page: PageFeatures
+    deadline_s: float
+    observations: tuple[CounterObservation, ...]
+
+    def observation(self, index: int) -> CounterObservation:
+        """The index-th observation, cycling past the end."""
+        return self.observations[index % len(self.observations)]
+
+
+class _RecordingGovernor(Governor):
+    """Wraps a governor and transcribes what DORA would have read."""
+
+    def __init__(self, inner: Governor) -> None:
+        self.inner = inner
+        self.interval_s = inner.interval_s
+        self.name = inner.name
+        self.observations: list[CounterObservation] = []
+
+    def initial_frequency(self, context: RunContext) -> float | None:
+        return self.inner.initial_frequency(context)
+
+    def decide(self, sample: CounterSample, context: RunContext) -> float:
+        cores = list(context.corunner_cores)
+        self.observations.append(
+            CounterObservation(
+                time_s=context.elapsed_s,
+                corunner_mpki=sample.mpki_of_cores(cores),
+                corunner_utilization=sample.utilization_of_cores(cores),
+                temperature_c=sample.soc_temperature_c,
+            )
+        )
+        return self.inner.decide(sample, context)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+def harvest_traces(
+    combos: Sequence[WorkloadCombo] | None = None,
+    config: HarnessConfig | None = None,
+    max_observations: int = 64,
+) -> list[DeviceTrace]:
+    """Run workloads under a recording governor and keep their counters.
+
+    Each combo is loaded once under ``interactive`` (a model-free
+    governor, so harvesting needs no trained bundle) and every decision
+    interval's (MPKI, utilization, temperature) triple is transcribed.
+    Results are cached: the harvest is a simulator campaign, not
+    something to repeat per bench run.
+    """
+    config = config or HarnessConfig()
+    combos = tuple(combos) if combos is not None else all_combos()[:6]
+
+    def build() -> list[DeviceTrace]:
+        traces: list[DeviceTrace] = []
+        for combo in combos:
+            recorder = _RecordingGovernor(InteractiveGovernor())
+            run_workload(combo.page_name, combo.kernel_name, recorder, config)
+            observations = tuple(recorder.observations[:max_observations])
+            if not observations:
+                observations = (_COLD_OBSERVATION,)
+            traces.append(
+                DeviceTrace(
+                    page_name=combo.page_name,
+                    kernel_name=combo.kernel_name,
+                    page=page_by_name(combo.page_name).features,
+                    deadline_s=config.deadline_s,
+                    observations=observations,
+                )
+            )
+        return traces
+
+    key = (
+        "serve-traces",
+        tuple((c.page_name, c.kernel_name) for c in combos),
+        config.deadline_s,
+        config.dt_s,
+        config.max_time_s,
+        config.device.ambient.name,
+        max_observations,
+    )
+    return memoized("serve-traces", key, build)
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Fleet-replay parameters.
+
+    Attributes:
+        devices: Simulated devices (requests round-robin over them).
+        requests: Total decision requests to submit.
+        target_qps: Virtual arrival rate; with ``max_wait_s`` it sets
+            how full batches get before the wait budget flushes them.
+        max_batch_size: Service flush-on-size threshold.
+        max_wait_s: Service flush-on-wait budget.
+        include_leakage: Serve the full model or the no-leakage
+            ablation.
+        qos_margin: Service QoS margin.
+        tight_deadline_every: Every Nth request gets an impossibly
+            tight deadline to exercise admission (0 disables).
+    """
+
+    devices: int = 32
+    requests: int = 512
+    target_qps: float = 5000.0
+    max_batch_size: int = 64
+    max_wait_s: float = 0.005
+    include_leakage: bool = True
+    qos_margin: float = 0.0
+    tight_deadline_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ValueError("need at least one device")
+        if self.requests < 1:
+            raise ValueError("need at least one request")
+        if self.target_qps <= 0:
+            raise ValueError("target QPS must be positive")
+
+    def service_config(self) -> ServiceConfig:
+        """The service tunables this replay drives."""
+        return ServiceConfig(
+            max_batch_size=self.max_batch_size,
+            max_wait_s=self.max_wait_s,
+            include_leakage=self.include_leakage,
+            qos_margin=self.qos_margin,
+        )
+
+
+#: Effective deadline guaranteed to fail admission (below the
+#: load-time floor even with zero margin).
+_TIGHT_DEADLINE_S = 0.01
+
+
+def request_stream(
+    traces: Sequence[DeviceTrace], config: LoadgenConfig
+) -> list[DecisionRequest]:
+    """The deterministic request sequence a replay submits.
+
+    Device ``d`` replays trace ``d % len(traces)``; its ``k``-th
+    request carries that trace's ``k``-th observation (cycling).
+    """
+    if not traces:
+        raise ValueError("need at least one device trace")
+    requests: list[DecisionRequest] = []
+    for index in range(config.requests):
+        device = index % config.devices
+        trace = traces[device % len(traces)]
+        observation = trace.observation(index // config.devices)
+        deadline_s = trace.deadline_s
+        if (
+            config.tight_deadline_every > 0
+            and (index + 1) % config.tight_deadline_every == 0
+        ):
+            deadline_s = _TIGHT_DEADLINE_S
+        requests.append(
+            DecisionRequest(
+                device_id=f"device-{device:04d}",
+                page=trace.page,
+                corunner_mpki=observation.corunner_mpki,
+                corunner_utilization=observation.corunner_utilization,
+                temperature_c=observation.temperature_c,
+                deadline_s=deadline_s,
+            )
+        )
+    return requests
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Decision-latency percentiles over one replay (seconds)."""
+
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_s: float
+    max_s: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        """Summarize a non-empty latency sample list."""
+        if not samples:
+            raise ValueError("need at least one latency sample")
+        values = np.asarray(samples, dtype=float)
+        p50, p95, p99 = np.percentile(values, (50.0, 95.0, 99.0))
+        return cls(
+            p50_s=float(p50),
+            p95_s=float(p95),
+            p99_s=float(p99),
+            mean_s=float(values.mean()),
+            max_s=float(values.max()),
+        )
+
+    def to_record(self) -> dict:
+        """Milliseconds-rounded JSON form."""
+        return {
+            "p50_ms": round(self.p50_s * 1e3, 4),
+            "p95_ms": round(self.p95_s * 1e3, 4),
+            "p99_ms": round(self.p99_s * 1e3, 4),
+            "mean_ms": round(self.mean_s * 1e3, 4),
+            "max_ms": round(self.max_s * 1e3, 4),
+        }
+
+
+@dataclass(frozen=True)
+class LoadgenReport:
+    """Everything one replay measured.
+
+    Attributes:
+        config: The replay parameters.
+        responses: Every response, in ticket (submission) order.
+        latency: Submit-to-response wall-clock latency stats.
+        wall_s: Wall time from first submit to last response.
+        throughput_rps: Served decisions per wall second.
+        batches: Model passes the service ran.
+        mean_batch_size: Accepted requests per model pass.
+        largest_batch: Biggest single model pass.
+        rejected: Requests admission answered with the fmax fallback.
+    """
+
+    config: LoadgenConfig
+    responses: tuple[DecisionResponse, ...]
+    latency: LatencyStats
+    wall_s: float
+    throughput_rps: float
+    batches: int
+    mean_batch_size: float
+    largest_batch: int
+    rejected: int
+
+    def fopts_hz(self) -> list[float]:
+        """Served fopt per request, in submission order."""
+        return [response.fopt_hz for response in self.responses]
+
+
+class FleetLoadGenerator:
+    """Replays a request stream through a :class:`DecisionService`.
+
+    Arrivals are spaced ``1 / target_qps`` apart on a virtual clock
+    that also drives the service's batching (and session TTLs), so a
+    replay's batch boundaries are fully deterministic.  Latency is
+    measured per request on the wall clock: the span from its
+    ``submit`` call to the flush that produced its response.
+    """
+
+    def __init__(self, predictor, config: LoadgenConfig | None = None) -> None:
+        self.config = config or LoadgenConfig()
+        self._virtual_now = 0.0
+        self.service = DecisionService(
+            predictor,
+            config=self.config.service_config(),
+            clock=lambda: self._virtual_now,
+        )
+
+    def run(self, traces: Sequence[DeviceTrace]) -> LoadgenReport:
+        """Submit the whole stream and collect the report."""
+        requests = request_stream(traces, self.config)
+        gap_s = 1.0 / self.config.target_qps
+        submitted_at: dict[int, float] = {}
+        latencies: list[float] = []
+        responses: list[DecisionResponse] = []
+
+        def collect(batch: list[DecisionResponse], wall_now: float) -> None:
+            for response in batch:
+                latencies.append(wall_now - submitted_at.pop(response.request_id))
+                responses.append(response)
+
+        wall_start = time.perf_counter()
+        for index, request in enumerate(requests):
+            self._virtual_now = index * gap_s
+            drained = self.service.poll(self._virtual_now)
+            if drained:
+                collect(drained, time.perf_counter())
+            submitted_at[index] = time.perf_counter()
+            answered = self.service.submit(request, self._virtual_now)
+            if answered:
+                collect(answered, time.perf_counter())
+        self._virtual_now = len(requests) * gap_s + self.config.max_wait_s
+        collect(self.service.flush(self._virtual_now), time.perf_counter())
+        wall_s = time.perf_counter() - wall_start
+
+        responses.sort(key=lambda response: response.request_id)
+        stats = self.service.stats
+        return LoadgenReport(
+            config=self.config,
+            responses=tuple(responses),
+            latency=LatencyStats.from_samples(latencies),
+            wall_s=wall_s,
+            throughput_rps=len(responses) / wall_s if wall_s > 0 else float("inf"),
+            batches=stats.batches_total,
+            mean_batch_size=stats.mean_batch_size(),
+            largest_batch=stats.largest_batch,
+            rejected=stats.rejected_total,
+        )
+
+
+def scalar_decision_baseline(
+    predictor,
+    requests: Sequence[DecisionRequest],
+    include_leakage: bool = True,
+    qos_margin: float = 0.0,
+) -> tuple[list[float], float]:
+    """Decide the same stream one request at a time (the phone's loop).
+
+    This is exactly what a per-device :class:`~repro.core.dora.DoraGovernor`
+    does per decision interval: build the full prediction table, then
+    :func:`select_fopt` against the margin-adjusted deadline.
+
+    Returns:
+        ``(fopts_hz, elapsed_s)`` -- the per-request answers (directly
+        comparable against a replay's :meth:`LoadgenReport.fopts_hz`)
+        and the wall time of the loop.
+    """
+    fopts: list[float] = []
+    start = time.perf_counter()
+    for request in requests:
+        table = predictor.prediction_table(
+            page_features=request.page,
+            corunner_mpki=request.corunner_mpki,
+            corunner_utilization=request.corunner_utilization,
+            temperature_c=request.temperature_c,
+            include_leakage=include_leakage,
+        )
+        choice = select_fopt(table, request.deadline_s * (1.0 - qos_margin))
+        fopts.append(choice.freq_hz)
+    return fopts, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class ServeBenchResult:
+    """A replay plus its scalar baseline and equivalence cross-check.
+
+    Attributes:
+        report: The batched replay's measurements.
+        scalar_s: Wall time of the scalar per-request loop.
+        scalar_rps: Scalar decisions per second.
+        speedup: Batched throughput over scalar throughput.
+        fopt_mismatches: Requests where batched and scalar fopt
+            disagree (must be zero; recorded, and asserted by the
+            bench suite).
+    """
+
+    report: LoadgenReport
+    scalar_s: float
+    scalar_rps: float
+    speedup: float
+    fopt_mismatches: int
+
+    def to_record(self) -> dict:
+        """The ``BENCH_serve.json`` payload."""
+        report = self.report
+        config = report.config
+        return {
+            "devices": config.devices,
+            "requests": config.requests,
+            "target_qps": config.target_qps,
+            "max_batch_size": config.max_batch_size,
+            "max_wait_ms": round(config.max_wait_s * 1e3, 3),
+            "include_leakage": config.include_leakage,
+            "qos_margin": config.qos_margin,
+            "batches": report.batches,
+            "mean_batch_size": round(report.mean_batch_size, 2),
+            "largest_batch": report.largest_batch,
+            "rejected": report.rejected,
+            "latency": report.latency.to_record(),
+            "wall_s": round(report.wall_s, 4),
+            "throughput_rps": round(report.throughput_rps, 1),
+            "scalar_s": round(self.scalar_s, 4),
+            "scalar_rps": round(self.scalar_rps, 1),
+            "speedup": round(self.speedup, 2),
+            "fopt_mismatches": self.fopt_mismatches,
+        }
+
+
+def run_serve_bench(
+    predictor,
+    config: LoadgenConfig | None = None,
+    harness_config: HarnessConfig | None = None,
+    combos: Sequence[WorkloadCombo] | None = None,
+    output_path: str | Path | None = None,
+) -> ServeBenchResult:
+    """Harvest traces, replay them batched and scalar, write the record.
+
+    Args:
+        predictor: Trained bundle to serve.
+        config: Replay parameters.
+        harness_config: Simulator config for trace harvesting.
+        combos: Workloads to harvest (default: first six suite combos).
+        output_path: Where to write the JSON record (``None`` skips).
+    """
+    config = config or LoadgenConfig()
+    harness_config = harness_config or HarnessConfig()
+    traces = harvest_traces(combos=combos, config=harness_config)
+    requests = request_stream(traces, config)
+
+    generator = FleetLoadGenerator(predictor, config)
+    report = generator.run(traces)
+
+    scalar_fopts, scalar_s = scalar_decision_baseline(
+        predictor,
+        requests,
+        include_leakage=config.include_leakage,
+        qos_margin=config.qos_margin,
+    )
+    scalar_rps = len(requests) / scalar_s if scalar_s > 0 else float("inf")
+    speedup = (
+        report.throughput_rps / scalar_rps if scalar_rps > 0 else float("inf")
+    )
+    mismatches = sum(
+        1
+        for served, scalar in zip(report.fopts_hz(), scalar_fopts)
+        if served != scalar
+    )
+    result = ServeBenchResult(
+        report=report,
+        scalar_s=scalar_s,
+        scalar_rps=scalar_rps,
+        speedup=speedup,
+        fopt_mismatches=mismatches,
+    )
+    if output_path is not None:
+        Path(output_path).write_text(
+            json.dumps(result.to_record(), indent=2) + "\n"
+        )
+    return result

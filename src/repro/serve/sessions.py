@@ -1,0 +1,144 @@
+"""Per-device session state for the decision service.
+
+On the phone, DORA's state lives in the governor process: the page
+census arrives before rendering, counter observations refresh every
+decision interval, and the actuator remembers the current frequency so
+unchanged decisions skip the switch.  Served fleet-side, that state
+becomes a session: one entry per device, refreshed by every request,
+and evicted after a TTL of silence (a device that stopped asking has
+finished its load or gone offline).
+
+The registry is deliberately clock-injected: production uses
+``time.monotonic``, tests and the load generator drive a virtual clock
+so TTL behaviour is deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.browser.dom import PageFeatures
+
+
+@dataclass
+class DeviceSession:
+    """Everything the service remembers about one device.
+
+    Attributes:
+        device_id: Stable client identifier.
+        page: Census of the page the device is currently loading.
+        corunner_mpki: Last observed co-runner shared-L2 MPKI.
+        corunner_utilization: Last observed co-runner utilization.
+        temperature_c: Last observed package temperature.
+        current_freq_hz: The frequency the service last told the
+            device to run at (0 before the first decision).
+        decisions: Number of accepted decisions served.
+        rejections: Number of requests rejected at admission.
+        created_s: Registry-clock time the session was created.
+        last_seen_s: Registry-clock time of the latest request.
+    """
+
+    device_id: str
+    page: PageFeatures | None = None
+    corunner_mpki: float = 0.0
+    corunner_utilization: float = 0.0
+    temperature_c: float = 45.0
+    current_freq_hz: float = 0.0
+    decisions: int = 0
+    rejections: int = 0
+    created_s: float = 0.0
+    last_seen_s: float = 0.0
+
+
+@dataclass
+class SessionRegistry:
+    """Device-session store with TTL eviction.
+
+    Attributes:
+        ttl_s: Seconds of silence after which a session is evicted.
+        clock: Zero-argument monotonic-seconds source.
+    """
+
+    ttl_s: float = 300.0
+    clock: Callable[[], float] = time.monotonic
+    _sessions: dict[str, DeviceSession] = field(default_factory=dict)
+    #: Total sessions ever evicted (telemetry).
+    evicted_total: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.ttl_s <= 0:
+            raise ValueError("session TTL must be positive")
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, device_id: str) -> bool:
+        return device_id in self._sessions
+
+    def get(self, device_id: str) -> DeviceSession | None:
+        """The live session for a device, without refreshing it."""
+        return self._sessions.get(device_id)
+
+    def active_ids(self) -> tuple[str, ...]:
+        """Device ids with a live session, oldest-created first."""
+        return tuple(self._sessions)
+
+    def touch(self, device_id: str, now: float | None = None) -> DeviceSession:
+        """Fetch-or-create a session and refresh its ``last_seen_s``."""
+        now = self.clock() if now is None else now
+        session = self._sessions.get(device_id)
+        if session is None:
+            session = DeviceSession(
+                device_id=device_id, created_s=now, last_seen_s=now
+            )
+            self._sessions[device_id] = session
+        else:
+            session.last_seen_s = now
+        return session
+
+    def record_decision(
+        self,
+        device_id: str,
+        page: PageFeatures,
+        corunner_mpki: float,
+        corunner_utilization: float,
+        temperature_c: float,
+        freq_hz: float,
+        now: float | None = None,
+    ) -> DeviceSession:
+        """Update a session with a served decision's inputs and output."""
+        session = self.touch(device_id, now)
+        session.page = page
+        session.corunner_mpki = corunner_mpki
+        session.corunner_utilization = corunner_utilization
+        session.temperature_c = temperature_c
+        session.current_freq_hz = freq_hz
+        session.decisions += 1
+        return session
+
+    def record_rejection(
+        self, device_id: str, now: float | None = None
+    ) -> DeviceSession:
+        """Note a rejected request (the device still counts as seen)."""
+        session = self.touch(device_id, now)
+        session.rejections += 1
+        return session
+
+    def evict_expired(self, now: float | None = None) -> tuple[str, ...]:
+        """Drop sessions silent for longer than the TTL.
+
+        Returns:
+            The evicted device ids (possibly empty).
+        """
+        now = self.clock() if now is None else now
+        expired = tuple(
+            device_id
+            for device_id, session in self._sessions.items()
+            if now - session.last_seen_s > self.ttl_s
+        )
+        for device_id in expired:
+            del self._sessions[device_id]
+        self.evicted_total += len(expired)
+        return expired

@@ -35,10 +35,28 @@ class TestOndemand:
 
 class TestQosMargin:
     def test_margin_bounds_validated(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"qos_margin must lie in \[0, 1\)"):
             DoraGovernor(predictor=StubPredictor(), qos_margin=1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"qos_margin must lie in \[0, 1\)"):
             DoraGovernor(predictor=StubPredictor(), qos_margin=-0.1)
+
+    def test_margin_boundaries_accepted(self):
+        """The interval is closed at 0 and open at 1."""
+        assert DoraGovernor(predictor=StubPredictor(), qos_margin=0.0).qos_margin == 0.0
+        extreme = DoraGovernor(predictor=StubPredictor(), qos_margin=0.999)
+        assert extreme.qos_margin == 0.999
+
+    def test_service_config_shares_the_validation_rule(self):
+        """The batched service rejects the same margins with the same
+        message as the scalar governor."""
+        from repro.serve.service import ServiceConfig
+
+        for margin in (1.0, -0.1, 2.5):
+            with pytest.raises(ValueError) as governor_error:
+                DoraGovernor(predictor=StubPredictor(), qos_margin=margin)
+            with pytest.raises(ValueError) as service_error:
+                ServiceConfig(qos_margin=margin)
+            assert str(governor_error.value) == str(service_error.value)
 
     def test_zero_margin_is_the_paper_behaviour(self, spec):
         base = DoraGovernor(predictor=StubPredictor())

@@ -1,5 +1,6 @@
 """PPW arithmetic tests (Equations 1 and 6, Algorithm 1)."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -13,6 +14,7 @@ from repro.core.ppw import (
     ppw,
     ppw_under_error,
     select_fopt,
+    select_fopt_rows,
 )
 
 
@@ -114,6 +116,73 @@ class TestEquationOne:
             assert all(choice.ppw >= p.ppw for p in feasible)
         else:
             assert choice.freq_hz == max(p.freq_hz for p in TABLE)
+
+
+class TestSelectFoptRows:
+    """The vectorized decision rule the scalar select_fopt delegates to."""
+
+    def _table_arrays(self):
+        load = np.array([[p.load_time_s for p in TABLE]])
+        power = np.array([[p.power_w for p in TABLE]])
+        return load, power
+
+    def test_single_row_matches_scalar(self):
+        load, power = self._table_arrays()
+        for deadline in (0.5, 1.6, 2.1, 3.0, 10.0):
+            [index] = select_fopt_rows(load, power, np.array([deadline]))
+            assert TABLE[index].freq_hz == select_fopt(TABLE, deadline).freq_hz
+
+    def test_rows_are_independent(self):
+        """Stacking rows never changes any row's answer."""
+        load, power = self._table_arrays()
+        deadlines = np.array([0.5, 1.6, 2.1, 3.0, 10.0])
+        stacked_load = np.repeat(load, len(deadlines), axis=0)
+        stacked_power = np.repeat(power, len(deadlines), axis=0)
+        batched = select_fopt_rows(stacked_load, stacked_power, deadlines)
+        for row, deadline in enumerate(deadlines):
+            [alone] = select_fopt_rows(load, power, np.array([deadline]))
+            assert batched[row] == alone
+
+    def test_infeasible_rows_pick_the_last_column(self):
+        load, power = self._table_arrays()
+        choice = select_fopt_rows(load, power, np.array([0.1]))
+        assert choice[0] == load.shape[1] - 1
+
+    def test_ppw_ties_resolve_to_the_lowest_frequency(self):
+        """Matches Python max()'s first-maximum over an ascending table."""
+        load = np.array([[2.0, 1.0, 0.5]])
+        power = np.array([[1.0, 2.0, 4.0]])  # identical PPW everywhere
+        [index] = select_fopt_rows(load, power, np.array([5.0]))
+        assert index == 0
+
+    def test_validation(self):
+        load, power = self._table_arrays()
+        with pytest.raises(ValueError, match="2-D"):
+            select_fopt_rows(load[0], power[0], np.array([1.0]))
+        with pytest.raises(ValueError, match="empty"):
+            select_fopt_rows(
+                np.empty((1, 0)), np.empty((1, 0)), np.array([1.0])
+            )
+        with pytest.raises(ValueError, match="one deadline per row"):
+            select_fopt_rows(load, power, np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="deadline must be positive"):
+            select_fopt_rows(load, power, np.array([0.0]))
+        with pytest.raises(ValueError, match="positive"):
+            select_fopt_rows(-load, power, np.array([1.0]))
+
+    @given(
+        deadline=st.floats(0.3, 20.0),
+        rows=st.integers(min_value=1, max_value=6),
+    )
+    def test_batched_equals_scalar_for_any_deadline(self, deadline, rows):
+        load, power = self._table_arrays()
+        batched = select_fopt_rows(
+            np.repeat(load, rows, axis=0),
+            np.repeat(power, rows, axis=0),
+            np.full(rows, deadline),
+        )
+        expected = select_fopt(TABLE, deadline).freq_hz
+        assert all(TABLE[i].freq_hz == expected for i in batched)
 
 
 class TestEquationSix:

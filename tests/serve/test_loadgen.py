@@ -1,0 +1,147 @@
+"""Load generator: trace harvesting, deterministic replay, bench record."""
+
+import json
+
+import pytest
+
+from repro.experiments.suite import all_combos
+from repro.serve.loadgen import (
+    FleetLoadGenerator,
+    LoadgenConfig,
+    harvest_traces,
+    request_stream,
+    run_serve_bench,
+    scalar_decision_baseline,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+@pytest.fixture(scope="module")
+def traces(fast_config):
+    # Module-scoped on purpose: harvesting simulates real page loads.
+    # Needs its own monkeypatch -- the function-scoped autouse one is
+    # set up after module-scoped fixtures.
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv("REPRO_NO_CACHE", "1")
+    try:
+        yield harvest_traces(combos=all_combos()[:2], config=fast_config)
+    finally:
+        patcher.undo()
+
+
+class TestHarvest:
+    def test_traces_carry_real_counter_dynamics(self, traces):
+        assert len(traces) == 2
+        for trace in traces:
+            assert trace.observations  # at least one decision interval
+            assert trace.page.dom_nodes > 0
+            assert trace.deadline_s == 3.0
+            for observation in trace.observations:
+                assert observation.corunner_mpki >= 0.0
+                assert 0.0 <= observation.corunner_utilization <= 1.0
+                assert observation.temperature_c > 0.0
+        # A co-runner is actually present in the harvested signal.
+        assert any(
+            observation.corunner_utilization > 0.0
+            for trace in traces
+            for observation in trace.observations
+        )
+
+    def test_observation_cycles_past_the_end(self, traces):
+        trace = traces[0]
+        count = len(trace.observations)
+        assert trace.observation(count) is trace.observations[0]
+
+
+class TestStream:
+    def test_stream_is_deterministic_and_round_robin(self, traces):
+        config = LoadgenConfig(devices=4, requests=12)
+        first = request_stream(traces, config)
+        second = request_stream(traces, config)
+        assert first == second
+        assert [r.device_id for r in first[:4]] == [
+            f"device-{i:04d}" for i in range(4)
+        ]
+        assert first[0].device_id == first[4].device_id
+
+    def test_tight_deadline_injection(self, traces):
+        config = LoadgenConfig(devices=2, requests=10, tight_deadline_every=5)
+        stream = request_stream(traces, config)
+        tight = [r for r in stream if r.deadline_s < 0.05]
+        assert len(tight) == 2  # requests 5 and 10
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="device"):
+            LoadgenConfig(devices=0)
+        with pytest.raises(ValueError, match="request"):
+            LoadgenConfig(requests=0)
+        with pytest.raises(ValueError, match="QPS"):
+            LoadgenConfig(target_qps=0.0)
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError, match="trace"):
+            request_stream([], LoadgenConfig())
+
+
+class TestReplay:
+    def test_replay_answers_every_request(self, small_predictor, traces):
+        config = LoadgenConfig(
+            devices=4, requests=40, target_qps=50000, max_batch_size=8
+        )
+        report = FleetLoadGenerator(small_predictor, config).run(traces)
+        assert len(report.responses) == 40
+        assert report.batches >= 5  # 40 accepted / batch cap 8
+        assert report.largest_batch <= 8
+        assert report.latency.p50_s <= report.latency.p99_s
+        assert report.throughput_rps > 0
+
+    def test_replay_matches_scalar_baseline_exactly(
+        self, small_predictor, traces
+    ):
+        config = LoadgenConfig(
+            devices=3,
+            requests=30,
+            target_qps=50000,
+            max_batch_size=8,
+            tight_deadline_every=7,
+        )
+        report = FleetLoadGenerator(small_predictor, config).run(traces)
+        scalar_fopts, _ = scalar_decision_baseline(
+            small_predictor, request_stream(traces, config)
+        )
+        assert report.fopts_hz() == scalar_fopts
+        assert report.rejected == 4  # requests 7, 14, 21, 28
+
+
+class TestBench:
+    def test_run_serve_bench_writes_the_record(
+        self, small_predictor, fast_config, tmp_path
+    ):
+        output = tmp_path / "BENCH_serve.json"
+        result = run_serve_bench(
+            small_predictor,
+            LoadgenConfig(
+                devices=4, requests=48, target_qps=50000, max_batch_size=16
+            ),
+            harness_config=fast_config,
+            combos=all_combos()[:2],
+            output_path=output,
+        )
+        assert result.fopt_mismatches == 0
+        record = json.loads(output.read_text())
+        for key in (
+            "latency",
+            "throughput_rps",
+            "scalar_rps",
+            "speedup",
+            "mean_batch_size",
+        ):
+            assert key in record
+        for percentile in ("p50_ms", "p95_ms", "p99_ms"):
+            assert record["latency"][percentile] >= 0.0
+        assert record["requests"] == 48
+        assert record["fopt_mismatches"] == 0

@@ -1,0 +1,93 @@
+"""Device-session registry: touch, decision recording, TTL eviction."""
+
+import pytest
+
+from repro.browser.pages import page_by_name
+from repro.serve.sessions import SessionRegistry
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return _Clock()
+
+
+@pytest.fixture
+def registry(clock):
+    return SessionRegistry(ttl_s=10.0, clock=clock)
+
+
+class TestLifecycle:
+    def test_touch_creates_then_refreshes(self, registry, clock):
+        session = registry.touch("phone-1")
+        assert session.created_s == 0.0
+        assert len(registry) == 1
+        clock.now = 4.0
+        again = registry.touch("phone-1")
+        assert again is session
+        assert again.last_seen_s == 4.0
+        assert again.created_s == 0.0
+
+    def test_record_decision_updates_state(self, registry):
+        page = page_by_name("amazon").features
+        session = registry.record_decision(
+            "phone-1",
+            page=page,
+            corunner_mpki=3.0,
+            corunner_utilization=0.4,
+            temperature_c=52.0,
+            freq_hz=1.19e9,
+        )
+        assert session.page is page
+        assert session.current_freq_hz == 1.19e9
+        assert session.decisions == 1
+        assert session.rejections == 0
+
+    def test_record_rejection_counts(self, registry):
+        registry.record_rejection("phone-2")
+        registry.record_rejection("phone-2")
+        assert registry.get("phone-2").rejections == 2
+
+    def test_contains_and_active_ids(self, registry):
+        registry.touch("a")
+        registry.touch("b")
+        assert "a" in registry
+        assert "missing" not in registry
+        assert registry.active_ids() == ("a", "b")
+
+
+class TestTtlEviction:
+    def test_silent_sessions_expire(self, registry, clock):
+        registry.touch("old")
+        clock.now = 8.0
+        registry.touch("fresh")
+        clock.now = 11.0  # old silent for 11 s > 10 s TTL, fresh for 3 s
+        assert registry.evict_expired() == ("old",)
+        assert "old" not in registry
+        assert "fresh" in registry
+        assert registry.evicted_total == 1
+
+    def test_activity_resets_the_clock(self, registry, clock):
+        registry.touch("busy")
+        clock.now = 9.0
+        registry.touch("busy")
+        clock.now = 15.0  # 6 s since last touch: still live
+        assert registry.evict_expired() == ()
+
+    def test_boundary_is_exclusive(self, registry, clock):
+        registry.touch("edge")
+        clock.now = 10.0  # exactly the TTL: not yet expired
+        assert registry.evict_expired() == ()
+        clock.now = 10.0001
+        assert registry.evict_expired() == ("edge",)
+
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ValueError, match="TTL"):
+            SessionRegistry(ttl_s=0.0)
