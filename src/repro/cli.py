@@ -8,6 +8,9 @@ Commands:
 * ``serve-bench`` -- benchmark the batched decision service against
   the scalar per-request loop (latency percentiles, throughput,
   speedup, fopt equivalence).
+* ``sim-bench`` -- benchmark the regime-stepped simulator fast path
+  against the per-step reference loop (per-case timings, campaign
+  aggregate, result equivalence).
 * ``figures`` -- regenerate paper figures (all or a selection), with
   optional CSV export.
 * ``train`` -- run the measurement campaign, train, and save the model
@@ -275,6 +278,35 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if record["fopt_mismatches"] == 0 else 1
 
 
+def _cmd_sim_bench(args: argparse.Namespace) -> int:
+    from repro.sim.bench import run_engine_bench, smoke_slice
+
+    cases = smoke_slice() if args.smoke else None
+    record = run_engine_bench(
+        cases=cases, repeats=args.repeats, output_path=args.output
+    )
+    print(f"{'case':<34} {'steps':>6} {'ref':>9} {'fast':>9} {'speedup':>8}")
+    for row in record["cases"]:
+        print(
+            f"{row['label']:<34} {row['steps']:>6} "
+            f"{row['ref_ms']:>7.2f}ms {row['fast_ms']:>7.2f}ms "
+            f"{row['speedup']:>7.2f}x"
+        )
+    campaign = record["campaign"]
+    overall = record["overall"]
+    print(
+        f"campaign    : {campaign['speedup']:.2f}x over {campaign['cases']} "
+        f"cases ({campaign['ref_ms']:.1f}ms -> {campaign['fast_ms']:.1f}ms)"
+    )
+    print(
+        f"overall     : {overall['speedup']:.2f}x over {overall['cases']} "
+        f"cases ({overall['ref_ms']:.1f}ms -> {overall['fast_ms']:.1f}ms)"
+    )
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.api import default_trained_models
     from repro.models.serialization import save_predictor
@@ -374,6 +406,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve_bench)
+
+    sim_parser = commands.add_parser(
+        "sim-bench", help="benchmark the regime-stepped engine fast path"
+    )
+    sim_parser.add_argument(
+        "--repeats", type=int, default=5, help="timed runs per engine (best-of)"
+    )
+    sim_parser.add_argument(
+        "--output", default=None, metavar="JSON",
+        help="write the bench record (e.g. BENCH_engine.json)",
+    )
+    sim_parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized case subset (seconds, not tens of seconds)",
+    )
+    sim_parser.set_defaults(func=_cmd_sim_bench)
 
     train_parser = commands.add_parser("train", help="train + save models")
     train_parser.add_argument("--output", default=None, metavar="JSON")

@@ -56,6 +56,10 @@ class HarnessConfig:
         max_time_s: Safety timeout per run.
         dora_interval_s: DORA's decision interval.
         device: Device configuration (ambient scenario, physics).
+        engine: Execution strategy passed to :class:`EngineConfig`
+            (``"fast"`` regime-stepped or ``"reference"`` per-step;
+            both produce bit-identical results, so cached artifacts
+            are shared between them).
     """
 
     deadline_s: float = 3.0
@@ -63,6 +67,7 @@ class HarnessConfig:
     max_time_s: float = 60.0
     dora_interval_s: float = 0.1
     device: DeviceConfig = field(default_factory=DeviceConfig)
+    engine: str = "fast"
 
 
 @dataclass(frozen=True)
@@ -175,6 +180,7 @@ def run_workload(
             dt_s=config.dt_s,
             max_time_s=config.max_time_s,
             record_trace=record_trace,
+            engine=config.engine,
         ),
     )
     return engine.run()
@@ -197,7 +203,10 @@ def run_kernel_alone(
         governor=governor,
         context=RunContext(spec=device.spec),
         config=EngineConfig(
-            dt_s=config.dt_s, max_time_s=duration_s, record_trace=False
+            dt_s=config.dt_s,
+            max_time_s=duration_s,
+            record_trace=False,
+            engine=config.engine,
         ),
     )
     return engine.run()

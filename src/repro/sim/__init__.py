@@ -11,6 +11,13 @@
 """
 
 from repro.sim.task import Task, WorkPhase
-from repro.sim.engine import Engine, EngineConfig, RunResult
+from repro.sim.engine import Engine, EngineConfig, ReferenceEngine, RunResult
 
-__all__ = ["Task", "WorkPhase", "Engine", "EngineConfig", "RunResult"]
+__all__ = [
+    "Task",
+    "WorkPhase",
+    "Engine",
+    "EngineConfig",
+    "ReferenceEngine",
+    "RunResult",
+]

@@ -73,7 +73,7 @@ def _window_indices(trace: Trace, start_s: float, end_s: float) -> tuple[int, in
 
 def _dt(trace: Trace) -> float:
     if len(trace) < 2:
-        return trace.times_s[0] if trace.times_s else 0.0
+        return trace.times_s[0] if len(trace) else 0.0
     return trace.times_s[1] - trace.times_s[0]
 
 
@@ -83,7 +83,7 @@ def energy_breakdown(trace: Trace) -> EnergyBreakdown:
     Raises:
         ValueError: If the trace is empty (tracing was disabled).
     """
-    if not trace.times_s:
+    if len(trace) == 0:
         raise ValueError("trace is empty; run the engine with record_trace")
     dt = _dt(trace)
     return EnergyBreakdown(
@@ -113,7 +113,7 @@ def phase_breakdown(result: RunResult, task_id: str) -> list[PhaseBreakdown]:
         ValueError: On an empty trace or an unknown task.
     """
     trace = result.trace
-    if not trace.times_s:
+    if len(trace) == 0:
         raise ValueError("trace is empty; run the engine with record_trace")
     starts = [
         (time_s, name)
@@ -139,7 +139,7 @@ def phase_breakdown(result: RunResult, task_id: str) -> list[PhaseBreakdown]:
         window_freq = trace.freqs_hz[lo:hi]
         energy = sum(window_power) * dt
         mean_freq = (
-            sum(window_freq) / len(window_freq) if window_freq else 0.0
+            sum(window_freq) / len(window_freq) if len(window_freq) else 0.0
         )
         phases.append(
             PhaseBreakdown(
@@ -176,7 +176,7 @@ def summarize_run(result: RunResult, gating_task_id: str) -> str:
         f"energy={result.energy_j:.2f}J power={result.avg_power_w:.2f}W "
         f"ppw={result.ppw:.4f}"
     )
-    if result.trace.times_s:
+    if len(result.trace):
         breakdown = energy_breakdown(result.trace)
         lines.append(
             "energy split: "

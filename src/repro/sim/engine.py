@@ -20,20 +20,68 @@ default).  Each step couples every model in the substrate:
 
 A run ends when every gating task (the browser's main thread) has
 finished, or at the safety timeout.
+
+Two execution strategies share these semantics:
+
+* The **reference loop** (:class:`ReferenceEngine`, or
+  ``EngineConfig(engine="reference")``) executes one dt per iteration --
+  the original, obviously-correct interpreter.
+* The **regime-stepped fast path** (the default) observes that between
+  *events* -- a task phase boundary or completion, a governor decision
+  boundary, a pending switch stall, the safety timeout -- the
+  cache/bus/CPI equilibrium and therefore every per-step quantity
+  except the thermal/leakage feedback is constant.  It plans the number
+  of dt steps to the next event, evaluates progress, counters, and
+  energy for the whole regime as resumed cumulative sums, and runs the
+  thermal recurrence with per-step constants hoisted.  Events still
+  snap to dt boundaries exactly as in the reference, every accumulation
+  uses strictly sequential summation, and event-adjacent steps fall
+  back to the single-step path -- so results are **bit-identical** to
+  the reference loop (asserted by ``tests/sim/test_engine_equivalence``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from repro.sim.governor import Governor, GovernorDecisionLog, RunContext
-from repro.sim.scheduler import plan
+from repro.sim.scheduler import CorePlan, plan
 from repro.sim.task import Task
 from repro.sim.trace import Trace
 from repro.soc.cache import CacheDemand
 from repro.soc.cpu import CpiInputs, effective_cpi
+from repro.soc.counters import CoreCounters
 from repro.soc.device import Device
 from repro.soc.power import CoreActivity
+
+#: Regimes shorter than this run through the single-step path (the
+#: bulk machinery's fixed cost only pays off from a couple of steps).
+_MIN_REGIME_STEPS = 2
+#: Upper bound on one regime's planning horizon (bounds the working-set
+#: of the planning matrix; longer regimes simply split).
+_MAX_REGIME_STEPS = 131072
+#: Preallocated trace capacity is capped here; longer runs grow.
+_MAX_TRACE_PREALLOC = 262144
+
+#: Cross-run cache of cache/bus/CPI equilibria, used by the fast path.
+#: The equilibrium is a pure function of the (frozen) cache and memory
+#: models, the operating point, and the running phases, so solutions
+#: transfer between runs -- campaigns re-simulate the same combos over
+#: and over.  Values are stored positionally (task ids stripped) and
+#: are exactly what :func:`_solve_equilibrium` returns.
+_EQUILIBRIUM_CACHE: dict = {}
+_EQUILIBRIUM_CACHE_CAP = 4096
+
+#: Cross-run cache of :class:`_RegimeTemplate` objects.  A template is
+#: a pure function of the (frozen) power/cache/memory models, dt, the
+#: operating point, the running ``(core, phase)`` placement and the
+#: online-core set; everything it holds is read-only once built, so
+#: sharing across runs is safe and skips the equilibrium solve *and*
+#: the reference breakdown on repeat combos.
+_TEMPLATE_CACHE: dict = {}
+_TEMPLATE_CACHE_CAP = 2048
 
 
 @dataclass(frozen=True)
@@ -44,18 +92,28 @@ class EngineConfig:
         dt_s: Simulation step.
         max_time_s: Safety timeout; a run that has not finished by then
             is reported as timed out.
-        record_trace: Whether to keep per-step time series.
+        record_trace: Whether to keep per-step time series.  Off by
+            default: traces exist for figures that plot behaviour over
+            time; sweeps, training campaigns and classification never
+            read them and opt out of the memory/required bookkeeping.
+        engine: ``"fast"`` (regime-stepped, the default) or
+            ``"reference"`` (the per-step loop).  Both produce
+            bit-identical results; the reference loop is the oracle the
+            equivalence suite checks the fast path against.
     """
 
     dt_s: float = 0.002
     max_time_s: float = 30.0
-    record_trace: bool = True
+    record_trace: bool = False
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.dt_s <= 0:
             raise ValueError("dt must be positive")
         if self.max_time_s <= self.dt_s:
             raise ValueError("max_time must exceed dt")
+        if self.engine not in ("fast", "reference"):
+            raise ValueError("engine must be 'fast' or 'reference'")
 
 
 @dataclass
@@ -209,6 +267,59 @@ def _solve_equilibrium(
 
 
 @dataclass
+class _LoopState:
+    """Mutable run-loop state shared by the step and regime paths."""
+
+    dt: float
+    trace: Trace
+    decisions: GovernorDecisionLog
+    summaries: dict[str, TaskSummary]
+    last_phase: dict[str, int]
+    equilibrium_memo: dict
+    regime_templates: dict
+    #: Reusable planning-table scratch, keyed by row count.  Regimes
+    #: overwrite every cell they read, so nothing carries over.
+    series_buffers: dict
+    core_plan: CorePlan
+    gating_ids: set[str]
+    time_s: float = 0.0
+    energy_j: float = 0.0
+    temperature_integral: float = 0.0
+    pending_stall_s: float = 0.0
+    window_s: float = 0.0
+    load_time_s: float | None = None
+    #: Steps to take through the single-step path before attempting
+    #: another regime (set when an event is provably imminent).
+    regime_cooldown: int = 0
+
+
+@dataclass
+class _RegimeTemplate:
+    """Everything about a (frequency, active phases) regime that does
+    not change while the regime holds.
+
+    Built once per combination per run; the fast path then only has to
+    resume running totals and integrate the thermal recurrence.  The
+    power constants come from one reference ``breakdown()`` call --
+    only its leakage term depends on temperature, and the regime
+    integrator re-evaluates leakage per step anyway.
+    """
+
+    budgets: list[float]
+    instructions: list[float]
+    increments: np.ndarray
+    #: ``increments`` as a column vector, ready to broadcast into the
+    #: planning table without a per-regime reshape.
+    increments_col: np.ndarray
+    core_dynamic_w: float
+    memory_w: float
+    non_leakage_w: float
+    rest_of_device_w: float
+    leak_power_of_c: object
+    per_core_power: dict[int, float]
+
+
+@dataclass
 class Engine:
     """Drives one run: a device, a task set, and a governor."""
 
@@ -220,6 +331,21 @@ class Engine:
 
     def run(self) -> RunResult:
         """Simulate until the gating tasks finish (or timeout)."""
+        loop = self._begin()
+        fast = self.config.engine == "fast"
+        max_time = self.config.max_time_s
+        while loop.time_s < max_time:
+            if fast:
+                if loop.regime_cooldown:
+                    loop.regime_cooldown -= 1
+                elif self._run_regime(loop):
+                    continue
+            if not self._step(loop):
+                break
+        return self._finish(loop)
+
+    # -- setup / teardown ----------------------------------------------
+    def _begin(self) -> _LoopState:
         device = self.device
         spec = device.spec
         core_plan = plan(self.tasks, spec)
@@ -232,167 +358,515 @@ class Engine:
         if initial is not None:
             device.actuator.reset(spec.state_for(initial))
 
-        dt = self.config.dt_s
-        trace = Trace()
-        decisions = GovernorDecisionLog()
-        summaries = {task.task_id: TaskSummary() for task in self.tasks}
-        last_phase = {task.task_id: -1 for task in self.tasks}
-        # The cache/bus/CPI equilibrium depends only on (frequency,
-        # active phases); solve it once per combination and reuse.
-        equilibrium_memo: dict[tuple, tuple[dict[str, tuple[float, float]], float, float]] = {}
+        capacity = 0
+        if self.config.record_trace:
+            expected = int(self.config.max_time_s / self.config.dt_s) + 4
+            capacity = min(expected, _MAX_TRACE_PREALLOC)
+        return _LoopState(
+            dt=self.config.dt_s,
+            trace=Trace(capacity=capacity),
+            decisions=GovernorDecisionLog(),
+            summaries={task.task_id: TaskSummary() for task in self.tasks},
+            last_phase={task.task_id: -1 for task in self.tasks},
+            # The cache/bus/CPI equilibrium depends only on (frequency,
+            # active phases); solve it once per combination and reuse.
+            equilibrium_memo={},
+            regime_templates={},
+            series_buffers={},
+            core_plan=core_plan,
+            gating_ids=set(core_plan.gating_task_ids),
+        )
 
-        time_s = 0.0
-        energy_j = 0.0
-        temperature_integral = 0.0
-        pending_stall_s = 0.0
-        window_s = 0.0
-        gating_ids = set(core_plan.gating_task_ids)
-        load_time_s: float | None = None
-
-        while time_s < self.config.max_time_s:
-            state = device.state
-            running = [task for task in self.tasks if task.running]
-            if not running:
-                break
-
-            # Stall from a recent frequency switch eats into the step.
-            useful_dt = dt
-            if pending_stall_s > 0:
-                consumed = min(pending_stall_s, dt)
-                useful_dt = dt - consumed
-                pending_stall_s -= consumed
-
-            # 1+2. Cache sharing and bus contention: solve (or recall)
-            # the coupled equilibrium for this (frequency, phases) set.
-            memo_key = (
-                state.freq_hz,
-                tuple((task.task_id, task.phase_index) for task in running),
-            )
-            equilibrium = equilibrium_memo.get(memo_key)
-            if equilibrium is None:
-                equilibrium = _solve_equilibrium(device, state, running)
-                equilibrium_memo[memo_key] = equilibrium
-            per_task, total_misses_per_s, _penalty_cycles = equilibrium
-
-            # 3. Progress + 5. counters.
-            activities: dict[int, CoreActivity] = {}
-            per_core_power: dict[int, float] = {}
-            for task in running:
-                phase = task.current_phase
-                if last_phase[task.task_id] != task.phase_index:
-                    last_phase[task.task_id] = task.phase_index
-                    if self.config.record_trace:
-                        trace.phase_starts.append((time_s, task.task_id, phase.name))
-                cpi, ratio = per_task[task.task_id]
-                budget = useful_dt * state.freq_hz / cpi
-                retired = task.advance(budget, time_s + dt) if budget > 0 else 0.0
-                busy_fraction = retired / budget if budget > 0 else 0.0
-                busy_s = useful_dt * busy_fraction
-                accesses = retired * phase.l2_apki / 1000.0
-                misses = accesses * ratio
-
-                summary = summaries[task.task_id]
-                summary.instructions += retired
-                summary.l2_accesses += accesses
-                summary.l2_misses += misses
-                summary.busy_s += busy_s
-
-                device.counters.add(
-                    core=task.core,
-                    busy_s=busy_s,
-                    instructions=retired,
-                    l2_accesses=accesses,
-                    l2_misses=misses,
-                )
-                utilization = min(1.0, busy_s / dt) if dt > 0 else 0.0
-                activities[task.core] = CoreActivity(
-                    utilization=utilization,
-                    effective_capacitance_f=phase.capacitance_f,
-                )
-                per_core_power[task.core] = (
-                    phase.capacitance_f
-                    * utilization
-                    * state.voltage_v**2
-                    * state.freq_hz
-                )
-                if task.finished and self.config.record_trace:
-                    trace.completions.append((time_s + dt, task.task_id))
-
-            # Online-but-idle cores (their task already finished).
-            for core in core_plan.online_cores:
-                if core not in activities:
-                    activities[core] = CoreActivity(
-                        utilization=0.0, effective_capacitance_f=0.0
-                    )
-                    per_core_power[core] = 0.0
-
-            # 4. Power and heat.
-            breakdown = device.power_model.breakdown(
-                state=state,
-                core_activity=activities,
-                l2_misses_per_s=total_misses_per_s,
-                temperature_c=device.thermal.soc_temperature_c,
-            )
-            device.thermal.step(breakdown.soc_w, dt, per_core_power)
-            energy_j += breakdown.total_w * dt
-            temperature_integral += device.thermal.soc_temperature_c * dt
-            device.counters.advance(dt)
-            time_s += dt
-            if self.config.record_trace:
-                trace.record(
-                    time_s, state.freq_hz, breakdown, device.thermal.soc_temperature_c
-                )
-
-            # Run completion check.
-            if gating_ids and all(
-                task.finished for task in self.tasks if task.gating
-            ):
-                load_time_s = max(
-                    task.finish_time_s or time_s
-                    for task in self.tasks
-                    if task.gating
-                )
-                for task in self.tasks:
-                    task.cancel(time_s)
-                break
-
-            # 6. Governor decision point.
-            window_s += dt
-            if window_s + 1e-12 >= self.governor.interval_s:
-                sample = device.counters.drain(
-                    freq_hz=state.freq_hz,
-                    soc_temperature_c=device.thermal.soc_temperature_c,
-                    core_temperatures_c={
-                        core: device.thermal.core_temperature_c(core)
-                        for core in core_plan.online_cores
-                    },
-                )
-                self.context.elapsed_s = time_s
-                target = self.governor.decide(sample, self.context)
-                decisions.record(time_s, target)
-                pending_stall_s += device.actuator.set_frequency(target)
-                window_s = 0.0
-
+    def _finish(self, loop: _LoopState) -> RunResult:
+        device = self.device
         for task in self.tasks:
-            summaries[task.task_id].finish_time_s = task.finish_time_s
-            summaries[task.task_id].loops_completed = task.loops_completed
+            loop.summaries[task.task_id].finish_time_s = task.finish_time_s
+            loop.summaries[task.task_id].loops_completed = task.loops_completed
 
-        energy_j += device.actuator.total_switch_energy_j
+        loop.energy_j += device.actuator.total_switch_energy_j
         return RunResult(
-            load_time_s=load_time_s,
-            had_gating=bool(gating_ids),
-            duration_s=time_s,
-            energy_j=energy_j,
-            trace=trace,
-            decisions=decisions,
+            load_time_s=loop.load_time_s,
+            had_gating=bool(loop.gating_ids),
+            duration_s=loop.time_s,
+            energy_j=loop.energy_j,
+            trace=loop.trace,
+            decisions=loop.decisions,
             switch_count=device.actuator.switch_count,
             switch_stall_s=device.actuator.total_stall_s,
             switch_energy_j=device.actuator.total_switch_energy_j,
-            task_summaries=summaries,
+            task_summaries=loop.summaries,
             final_temperature_c=device.thermal.soc_temperature_c,
             avg_temperature_c=(
-                temperature_integral / time_s if time_s > 0 else
+                loop.temperature_integral / loop.time_s if loop.time_s > 0 else
                 device.thermal.soc_temperature_c
             ),
             governor_name=self.governor.name,
         )
+
+    def _equilibrium(self, loop: _LoopState, state, running: list[Task]):
+        memo_key = (
+            state.freq_hz,
+            tuple((task.task_id, task.phase_index) for task in running),
+        )
+        equilibrium = loop.equilibrium_memo.get(memo_key)
+        if equilibrium is not None:
+            return equilibrium
+        if self.config.engine == "fast":
+            shared_key = (
+                self.device.cache,
+                self.device.memory,
+                state.freq_hz,
+                state.bus_freq_hz,
+                tuple(task.current_phase for task in running),
+            )
+            cached = _EQUILIBRIUM_CACHE.get(shared_key)
+            if cached is None:
+                solved = _solve_equilibrium(self.device, state, running)
+                cached = (
+                    tuple(solved[0][task.task_id] for task in running),
+                    solved[1],
+                    solved[2],
+                )
+                if len(_EQUILIBRIUM_CACHE) >= _EQUILIBRIUM_CACHE_CAP:
+                    _EQUILIBRIUM_CACHE.clear()
+                _EQUILIBRIUM_CACHE[shared_key] = cached
+            per_task = {
+                task.task_id: cached[0][position]
+                for position, task in enumerate(running)
+            }
+            equilibrium = (per_task, cached[1], cached[2])
+        else:
+            equilibrium = _solve_equilibrium(self.device, state, running)
+        loop.equilibrium_memo[memo_key] = equilibrium
+        return equilibrium
+
+    def _decide(self, loop: _LoopState, state) -> None:
+        """One governor decision point (shared by both paths)."""
+        device = self.device
+        sample = device.counters.drain(
+            freq_hz=state.freq_hz,
+            soc_temperature_c=device.thermal.soc_temperature_c,
+            core_temperatures_c={
+                core: device.thermal.core_temperature_c(core)
+                for core in loop.core_plan.online_cores
+            },
+        )
+        self.context.elapsed_s = loop.time_s
+        target = self.governor.decide(sample, self.context)
+        loop.decisions.record(loop.time_s, target)
+        loop.pending_stall_s += device.actuator.set_frequency(target)
+        loop.window_s = 0.0
+
+    # -- the per-step reference path -----------------------------------
+    def _step(self, loop: _LoopState) -> bool:
+        """Execute exactly one dt; False ends the run (completion or
+        an empty task set)."""
+        device = self.device
+        dt = loop.dt
+        state = device.state
+        running = [task for task in self.tasks if task.running]
+        if not running:
+            return False
+
+        # Stall from a recent frequency switch eats into the step.
+        useful_dt = dt
+        if loop.pending_stall_s > 0:
+            consumed = min(loop.pending_stall_s, dt)
+            useful_dt = dt - consumed
+            loop.pending_stall_s -= consumed
+
+        # 1+2. Cache sharing and bus contention: solve (or recall)
+        # the coupled equilibrium for this (frequency, phases) set.
+        per_task, total_misses_per_s, _penalty_cycles = self._equilibrium(
+            loop, state, running
+        )
+
+        # 3. Progress + 5. counters.
+        activities: dict[int, CoreActivity] = {}
+        per_core_power: dict[int, float] = {}
+        for task in running:
+            phase = task.current_phase
+            if loop.last_phase[task.task_id] != task.phase_index:
+                loop.last_phase[task.task_id] = task.phase_index
+                if self.config.record_trace:
+                    loop.trace.phase_starts.append(
+                        (loop.time_s, task.task_id, phase.name)
+                    )
+            cpi, ratio = per_task[task.task_id]
+            budget = useful_dt * state.freq_hz / cpi
+            retired = task.advance(budget, loop.time_s + dt) if budget > 0 else 0.0
+            busy_fraction = retired / budget if budget > 0 else 0.0
+            busy_s = useful_dt * busy_fraction
+            accesses = retired * phase.l2_apki / 1000.0
+            misses = accesses * ratio
+
+            summary = loop.summaries[task.task_id]
+            summary.instructions += retired
+            summary.l2_accesses += accesses
+            summary.l2_misses += misses
+            summary.busy_s += busy_s
+
+            device.counters.add(
+                core=task.core,
+                busy_s=busy_s,
+                instructions=retired,
+                l2_accesses=accesses,
+                l2_misses=misses,
+            )
+            utilization = min(1.0, busy_s / dt) if dt > 0 else 0.0
+            activities[task.core] = CoreActivity(
+                utilization=utilization,
+                effective_capacitance_f=phase.capacitance_f,
+            )
+            per_core_power[task.core] = (
+                phase.capacitance_f
+                * utilization
+                * state.voltage_v**2
+                * state.freq_hz
+            )
+            if task.finished and self.config.record_trace:
+                loop.trace.completions.append((loop.time_s + dt, task.task_id))
+
+        # Online-but-idle cores (their task already finished).
+        for core in loop.core_plan.online_cores:
+            if core not in activities:
+                activities[core] = CoreActivity(
+                    utilization=0.0, effective_capacitance_f=0.0
+                )
+                per_core_power[core] = 0.0
+
+        # 4. Power and heat.
+        breakdown = device.power_model.breakdown(
+            state=state,
+            core_activity=activities,
+            l2_misses_per_s=total_misses_per_s,
+            temperature_c=device.thermal.soc_temperature_c,
+        )
+        device.thermal.step(breakdown.soc_w, dt, per_core_power)
+        loop.energy_j += breakdown.total_w * dt
+        loop.temperature_integral += device.thermal.soc_temperature_c * dt
+        device.counters.advance(dt)
+        loop.time_s += dt
+        if self.config.record_trace:
+            loop.trace.record(
+                loop.time_s, state.freq_hz, breakdown,
+                device.thermal.soc_temperature_c,
+            )
+
+        # Run completion check.
+        if loop.gating_ids and all(
+            task.finished for task in self.tasks if task.gating
+        ):
+            loop.load_time_s = max(
+                task.finish_time_s or loop.time_s
+                for task in self.tasks
+                if task.gating
+            )
+            for task in self.tasks:
+                task.cancel(loop.time_s)
+            return False
+
+        # 6. Governor decision point.
+        loop.window_s += dt
+        if loop.window_s + 1e-12 >= self.governor.interval_s:
+            self._decide(loop, state)
+        return True
+
+    # -- the regime-stepped fast path ----------------------------------
+    def _build_template(
+        self, loop: _LoopState, state, running: list[Task]
+    ) -> _RegimeTemplate:
+        """Precompute the constants of one (frequency, phases) regime.
+
+        Within a regime every running core is fully busy, so per-step
+        progress, the activity set, and with it dynamic + memory power
+        are all constant; one reference ``breakdown()`` call (with the
+        reference's exact expressions and dict insertion order) yields
+        the temperature-independent power terms, and leakage gets a
+        per-step evaluator bound to the regime's voltage.
+        """
+        device = self.device
+        dt = loop.dt
+        per_task, total_misses_per_s, _penalty_cycles = self._equilibrium(
+            loop, state, running
+        )
+        budgets: list[float] = []
+        instructions: list[float] = []
+        increments = [dt, dt, dt]
+        activities: dict[int, CoreActivity] = {}
+        per_core_power: dict[int, float] = {}
+        for task in running:
+            phase = task.current_phase
+            cpi, ratio = per_task[task.task_id]
+            budget = dt * state.freq_hz / cpi
+            accesses = budget * phase.l2_apki / 1000.0
+            misses = accesses * ratio
+            budgets.append(budget)
+            instructions.append(phase.instructions)
+            increments += [
+                budget, budget, budget, accesses, misses, dt,
+                dt, budget, accesses, misses,
+            ]
+            activities[task.core] = CoreActivity(
+                utilization=1.0,
+                effective_capacitance_f=phase.capacitance_f,
+            )
+            per_core_power[task.core] = (
+                phase.capacitance_f
+                * 1.0
+                * state.voltage_v**2
+                * state.freq_hz
+            )
+        for core in loop.core_plan.online_cores:
+            if core not in activities:
+                activities[core] = CoreActivity(
+                    utilization=0.0, effective_capacitance_f=0.0
+                )
+                per_core_power[core] = 0.0
+        base = device.power_model.breakdown(
+            state=state,
+            core_activity=activities,
+            l2_misses_per_s=total_misses_per_s,
+            temperature_c=device.thermal.soc_temperature_c,
+        )
+        increment_array = np.array(increments)
+        return _RegimeTemplate(
+            budgets=budgets,
+            instructions=instructions,
+            increments=increment_array,
+            increments_col=increment_array.reshape(-1, 1),
+            core_dynamic_w=base.core_dynamic_w,
+            memory_w=base.memory_w,
+            non_leakage_w=base.core_dynamic_w + base.memory_w,
+            rest_of_device_w=base.rest_of_device_w,
+            leak_power_of_c=device.power_model.leakage.bound_evaluator(
+                state.voltage_v
+            ),
+            per_core_power=per_core_power,
+        )
+
+    def _run_regime(self, loop: _LoopState) -> int:
+        """Bulk-execute the steps to the next event.
+
+        Returns the number of steps executed; 0 means this iteration is
+        not bulkable (pending stall, an event within the next couple of
+        steps, no runnable tasks) and the caller should take the
+        single-step path.
+        """
+        if loop.pending_stall_s > 0:
+            return 0
+        device = self.device
+        dt = loop.dt
+        state = device.state
+        running = [task for task in self.tasks if task.running]
+        if not running:
+            return 0
+        key = (
+            state.freq_hz,
+            tuple((task.task_id, task.phase_index) for task in running),
+        )
+        template = loop.regime_templates.get(key)
+        if template is None:
+            shared_key = (
+                device.power_model,
+                device.cache,
+                device.memory,
+                dt,
+                state,
+                tuple((task.core, task.current_phase) for task in running),
+                loop.core_plan.online_cores,
+            )
+            template = _TEMPLATE_CACHE.get(shared_key)
+            if template is None:
+                template = self._build_template(loop, state, running)
+                if len(_TEMPLATE_CACHE) >= _TEMPLATE_CACHE_CAP:
+                    _TEMPLATE_CACHE.clear()
+                _TEMPLATE_CACHE[shared_key] = template
+            loop.regime_templates[key] = template
+        budgets = template.budgets
+        instructions = template.instructions
+        interval = self.governor.interval_s
+        max_time = self.config.max_time_s
+
+        # Scalar estimate of the steps to the nearest event: a phase
+        # crossing excludes its step from the regime, the timeout and a
+        # decision boundary include theirs.  Float drift moves the true
+        # event index by at most a step; the exact check below corrects.
+        n = int(min(
+            (max_time - loop.time_s) / dt, (interval - loop.window_s) / dt
+        )) + 1
+        for task, budget, instr in zip(running, budgets, instructions):
+            estimate = int((instr - task.instructions_done_in_phase) / budget)
+            if estimate < n:
+                n = estimate
+        if n < _MIN_REGIME_STEPS:
+            # The event is provably within the next n + 1 steps, and the
+            # caller falls through to a _step right now -- skip the
+            # doomed re-attempts for the n steps after it.
+            loop.regime_cooldown = n
+            return 0
+        clamped = n > _MAX_REGIME_STEPS
+        if clamped:
+            n = _MAX_REGIME_STEPS
+
+        # Running totals for everything a constant regime accumulates:
+        # row 0 simulated time, row 1 the governor window, row 2 the
+        # counter-window clock, then ten rows per task (phase progress,
+        # lifetime instructions, the four summary fields, the four
+        # counter-window fields).  One sequential cumsum resumes all of
+        # them bit-identically to the scalar loop.
+        counters = device.counters
+        bases = [loop.time_s, loop.window_s, counters.elapsed_s]
+        for task in running:
+            summary = loop.summaries[task.task_id]
+            window = counters.window(task.core)
+            bases += [
+                task.instructions_done_in_phase,
+                task.total_instructions,
+                summary.instructions,
+                summary.l2_accesses,
+                summary.l2_misses,
+                summary.busy_s,
+                window.busy_s,
+                window.instructions,
+                window.l2_accesses,
+                window.l2_misses,
+            ]
+        rows = len(bases)
+        buffer = loop.series_buffers.get(rows)
+        if buffer is None or buffer.shape[1] < n + 1:
+            buffer = np.empty((rows, max(n + 1, 64)))
+            loop.series_buffers[rows] = buffer
+        # In-place resumed cumulative sums: column 0 carries the running
+        # totals, every later column the per-step increment, and the
+        # accumulate sweeps left to right -- the same strictly
+        # sequential summation order as the scalar reference loop (and
+        # as :func:`repro.soc.numerics.accumulate_rows`, whose
+        # allocation this scratch buffer avoids).
+        series = buffer[:, : n + 1]
+        series[:, 0] = bases
+        series[:, 1:] = template.increments_col
+        np.add.accumulate(series, axis=1, out=series)
+
+        # Exact event check at the regime boundary.  Every per-step
+        # event predicate is monotone in the step index (the underlying
+        # totals only grow), so checking steps ``n`` and ``n - 1``
+        # covers the whole regime:
+        # * a crossed phase at step n, or a step whose pre-state
+        #   violates ``budget <= instructions - done`` (the condition
+        #   for the reference's ``min(budget, left_in_phase)`` to
+        #   reduce to a plain ``+= budget``), must stay out of bulk;
+        # * the timeout and decision events may land exactly on step n
+        #   but not earlier.
+        while n >= _MIN_REGIME_STEPS:
+            # Python-float columns: the checks below (and the write-back
+            # after) read boundary cells many times, and one ``tolist``
+            # beats repeated NumPy scalar indexing.
+            last = series[:, n].tolist()
+            prev = series[:, n - 1].tolist()
+            valid = True
+            for position, (budget, instr) in enumerate(
+                zip(budgets, instructions)
+            ):
+                row = 3 + 10 * position
+                if last[row] >= instr or budget > instr - prev[row]:
+                    valid = False
+                    break
+            if valid and last[0] >= max_time and prev[0] >= max_time:
+                valid = False
+            if valid and last[1] + 1e-12 >= interval \
+                    and prev[1] + 1e-12 >= interval:
+                valid = False
+            if valid:
+                break
+            n -= 1
+        if n < _MIN_REGIME_STEPS:
+            loop.regime_cooldown = n
+            return 0
+        decision_due = last[1] + 1e-12 >= interval
+
+        # Execute the regime.  Phase-entry stamps land at the regime's
+        # first step, exactly where the reference stamps them.
+        record = self.config.record_trace
+        for task in running:
+            if loop.last_phase[task.task_id] != task.phase_index:
+                loop.last_phase[task.task_id] = task.phase_index
+                if record:
+                    loop.trace.phase_starts.append(
+                        (loop.time_s, task.task_id, task.current_phase.name)
+                    )
+
+        leak_w, total_w, temp_c = device.thermal.integrate_regime(
+            steps=n,
+            dt_s=dt,
+            non_leakage_soc_w=template.non_leakage_w,
+            rest_of_device_w=template.rest_of_device_w,
+            leak_power_of_c=template.leak_power_of_c,
+            per_core_power_w=template.per_core_power,
+        )
+        energy_j = loop.energy_j
+        temperature_integral = loop.temperature_integral
+        for power, temperature in zip(total_w, temp_c):
+            energy_j += power * dt
+            temperature_integral += temperature * dt
+        loop.energy_j = energy_j
+        loop.temperature_integral = temperature_integral
+
+        windows: dict[int, object] = {}
+        for position, task in enumerate(running):
+            row = 3 + 10 * position
+            task.instructions_done_in_phase = last[row]
+            task.total_instructions = last[row + 1]
+            summary = loop.summaries[task.task_id]
+            summary.instructions = last[row + 2]
+            summary.l2_accesses = last[row + 3]
+            summary.l2_misses = last[row + 4]
+            summary.busy_s = last[row + 5]
+            windows[task.core] = CoreCounters(
+                busy_s=last[row + 6],
+                instructions=last[row + 7],
+                l2_accesses=last[row + 8],
+                l2_misses=last[row + 9],
+            )
+        counters.install_window(last[2], windows)
+        loop.time_s = last[0]
+        loop.window_s = last[1]
+
+        if record:
+            loop.trace.record_block(
+                times_s=series[0, 1 : n + 1],
+                freq_hz=state.freq_hz,
+                total_power_w=total_w,
+                core_dynamic_w=template.core_dynamic_w,
+                memory_w=template.memory_w,
+                leakage_w=leak_w,
+                soc_temperature_c=temp_c,
+            )
+        # No completion is possible inside a regime (a finish implies a
+        # phase crossing, which ends the regime beforehand), so the
+        # only post-step action left is the decision point.
+        if decision_due:
+            self._decide(loop, state)
+        elif not clamped:
+            # The regime ended for a reason other than a decision or the
+            # planning-horizon clamp, so the very next step hits a phase
+            # crossing (or the timeout, which ends the loop anyway): a
+            # fresh attempt would only rediscover that and fail.
+            loop.regime_cooldown = 1
+        return n
+
+
+@dataclass
+class ReferenceEngine(Engine):
+    """The engine locked to the per-step reference loop.
+
+    The behavioral oracle: the regime-stepped fast path must reproduce
+    this loop bit-for-bit.  Benchmarks and the equivalence suite
+    instantiate it directly; everyone else selects via
+    ``EngineConfig(engine=...)``.
+    """
+
+    def run(self) -> RunResult:
+        if self.config.engine != "reference":
+            self.config = replace(self.config, engine="reference")
+        return super().run()

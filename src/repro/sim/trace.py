@@ -5,34 +5,96 @@ a sampled record of device power (decomposed), operating point, and
 temperature, plus per-task completion stamps.  Figures that plot
 behaviour *during* a load (and the overhead analysis of Section V-H)
 read it; everything else uses the summary :class:`~repro.sim.engine.RunResult`.
+
+Samples live in preallocated NumPy columns rather than per-step Python
+lists: the regime-stepped engine appends whole regimes at once via
+:meth:`Trace.record_block`, and even the per-step reference path avoids
+list-append overhead.  The series attributes (``times_s`` & co) are
+read-only array views over the filled prefix, so consumers keep using
+``len``, slicing, ``zip`` and ``bisect`` unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import numpy as np
 
 from repro.soc.power import PowerBreakdown
 
+#: Column order of the backing array.
+_SERIES = (
+    "times_s",
+    "freqs_hz",
+    "total_power_w",
+    "core_dynamic_w",
+    "memory_w",
+    "leakage_w",
+    "soc_temperature_c",
+)
+_MIN_CAPACITY = 64
 
-@dataclass
+
 class Trace:
     """Per-step samples of one run.
 
-    All lists are parallel; entry ``i`` describes the state at the end
-    of step ``i``.
+    All series are parallel; entry ``i`` describes the state at the end
+    of step ``i``.  Series are exposed as NumPy array views.
     """
 
-    times_s: list[float] = field(default_factory=list)
-    freqs_hz: list[float] = field(default_factory=list)
-    total_power_w: list[float] = field(default_factory=list)
-    core_dynamic_w: list[float] = field(default_factory=list)
-    memory_w: list[float] = field(default_factory=list)
-    leakage_w: list[float] = field(default_factory=list)
-    soc_temperature_c: list[float] = field(default_factory=list)
-    #: (time, task_id) pairs stamped when a task finishes.
-    completions: list[tuple[float, str]] = field(default_factory=list)
-    #: (time, task_id, phase name) pairs stamped at phase entry.
-    phase_starts: list[tuple[float, str, str]] = field(default_factory=list)
+    def __init__(self, capacity: int = 0) -> None:
+        self._columns = np.empty((len(_SERIES), max(0, capacity)))
+        self._length = 0
+        #: (time, task_id) pairs stamped when a task finishes.
+        self.completions: list[tuple[float, str]] = []
+        #: (time, task_id, phase name) pairs stamped at phase entry.
+        self.phase_starts: list[tuple[float, str, str]] = []
+
+    # -- series views ---------------------------------------------------
+    @property
+    def times_s(self) -> np.ndarray:
+        """Sample times (end of each step)."""
+        return self._columns[0, : self._length]
+
+    @property
+    def freqs_hz(self) -> np.ndarray:
+        """Operating frequency per step."""
+        return self._columns[1, : self._length]
+
+    @property
+    def total_power_w(self) -> np.ndarray:
+        """Whole-device power per step."""
+        return self._columns[2, : self._length]
+
+    @property
+    def core_dynamic_w(self) -> np.ndarray:
+        """Core dynamic power per step."""
+        return self._columns[3, : self._length]
+
+    @property
+    def memory_w(self) -> np.ndarray:
+        """Memory-system power per step."""
+        return self._columns[4, : self._length]
+
+    @property
+    def leakage_w(self) -> np.ndarray:
+        """Leakage power per step."""
+        return self._columns[5, : self._length]
+
+    @property
+    def soc_temperature_c(self) -> np.ndarray:
+        """Package temperature per step (post-step)."""
+        return self._columns[6, : self._length]
+
+    # -- recording ------------------------------------------------------
+    def _reserve(self, extra: int) -> None:
+        needed = self._length + extra
+        capacity = self._columns.shape[1]
+        if needed <= capacity:
+            return
+        grown = np.empty(
+            (len(_SERIES), max(needed, 2 * capacity, _MIN_CAPACITY))
+        )
+        grown[:, : self._length] = self._columns[:, : self._length]
+        self._columns = grown
 
     def record(
         self,
@@ -42,42 +104,76 @@ class Trace:
         temperature_c: float,
     ) -> None:
         """Append one step's sample."""
-        self.times_s.append(time_s)
-        self.freqs_hz.append(freq_hz)
-        self.total_power_w.append(breakdown.total_w)
-        self.core_dynamic_w.append(breakdown.core_dynamic_w)
-        self.memory_w.append(breakdown.memory_w)
-        self.leakage_w.append(breakdown.leakage_w)
-        self.soc_temperature_c.append(temperature_c)
+        self._reserve(1)
+        column = self._columns[:, self._length]
+        column[0] = time_s
+        column[1] = freq_hz
+        column[2] = breakdown.total_w
+        column[3] = breakdown.core_dynamic_w
+        column[4] = breakdown.memory_w
+        column[5] = breakdown.leakage_w
+        column[6] = temperature_c
+        self._length += 1
+
+    def record_block(
+        self,
+        times_s,
+        freq_hz: float,
+        total_power_w,
+        core_dynamic_w: float,
+        memory_w: float,
+        leakage_w,
+        soc_temperature_c,
+    ) -> None:
+        """Append one whole regime of samples.
+
+        Within a regime the operating point and the non-leakage power
+        components are constant (scalars); time, total power, leakage
+        and temperature vary per step (sequences of equal length).
+        """
+        steps = len(times_s)
+        if steps == 0:
+            return
+        self._reserve(steps)
+        window = slice(self._length, self._length + steps)
+        self._columns[0, window] = times_s
+        self._columns[1, window] = freq_hz
+        self._columns[2, window] = total_power_w
+        self._columns[3, window] = core_dynamic_w
+        self._columns[4, window] = memory_w
+        self._columns[5, window] = leakage_w
+        self._columns[6, window] = soc_temperature_c
+        self._length += steps
 
     def __len__(self) -> int:
-        return len(self.times_s)
+        return self._length
 
+    # -- summaries ------------------------------------------------------
     def mean_power_w(self, until_s: float | None = None) -> float:
         """Average total power, optionally truncated at ``until_s``."""
-        if not self.times_s:
+        if self._length == 0:
             return 0.0
-        total = 0.0
-        count = 0
-        for time_s, power_w in zip(self.times_s, self.total_power_w):
-            if until_s is not None and time_s > until_s:
-                break
-            total += power_w
-            count += 1
-        return total / count if count else 0.0
+        if until_s is None:
+            count = self._length
+        else:
+            count = int(np.searchsorted(self.times_s, until_s, side="right"))
+        if count == 0:
+            return 0.0
+        return float(np.add.reduce(self._columns[2, :count])) / count
 
     def max_temperature_c(self) -> float:
         """Hottest package temperature seen during the run."""
-        if not self.soc_temperature_c:
+        if self._length == 0:
             return 0.0
-        return max(self.soc_temperature_c)
+        return float(self.soc_temperature_c.max())
 
     def frequency_residency(self) -> dict[float, float]:
         """Fraction of samples spent at each frequency."""
-        if not self.freqs_hz:
+        if self._length == 0:
             return {}
-        counts: dict[float, int] = {}
-        for freq in self.freqs_hz:
-            counts[freq] = counts.get(freq, 0) + 1
-        total = len(self.freqs_hz)
-        return {freq: count / total for freq, count in counts.items()}
+        freqs, counts = np.unique(self.freqs_hz, return_counts=True)
+        total = self._length
+        return {
+            float(freq): int(count) / total
+            for freq, count in zip(freqs, counts)
+        }

@@ -131,6 +131,31 @@ class CounterBank:
             raise ValueError("dt must be non-negative")
         self._elapsed_s += dt_s
 
+    @property
+    def elapsed_s(self) -> float:
+        """Length of the currently-accumulating window."""
+        return self._elapsed_s
+
+    def window(self, core: int) -> CoreCounters:
+        """The currently-accumulating (undrained) window of one core."""
+        return self._windows.get(core, CoreCounters())
+
+    def install_window(
+        self, elapsed_s: float, per_core: dict[int, CoreCounters]
+    ) -> None:
+        """Bulk-replace the window clock and the given cores' windows.
+
+        The engine fast path accumulates a whole constant regime of
+        ``add()`` + ``advance()`` rounds in one cumulative sum (seeded
+        from :attr:`elapsed_s` and :meth:`window`) and installs the
+        result here.  Cores not named keep their accumulated window --
+        exactly as a run of ``add()`` calls would leave them.
+        """
+        if elapsed_s < 0:
+            raise ValueError("window length must be non-negative")
+        self._elapsed_s = elapsed_s
+        self._windows.update(per_core)
+
     def drain(
         self,
         freq_hz: float,

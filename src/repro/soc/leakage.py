@@ -67,6 +67,33 @@ class LeakageParameters:
         gate = self.k2 * math.exp(self.gamma * voltage_v + self.delta)
         return subthreshold + gate
 
+    def bound_evaluator(self, voltage_v: float):
+        """A ``temperature_c -> power_w`` closure for a fixed voltage.
+
+        Hoists every voltage-only subexpression out of the per-call
+        path; the engine's regime integrator evaluates leakage once per
+        dt inside a tight loop.  The remaining arithmetic keeps exactly
+        the evaluation order of :meth:`power_w`, so the closure is
+        bit-identical to it at every temperature.
+
+        Raises:
+            ValueError: If the voltage is non-positive.
+        """
+        if voltage_v <= 0:
+            raise ValueError("voltage must be positive")
+        k1v = self.k1 * voltage_v
+        slope = self.alpha * voltage_v + self.beta
+        gate = self.k2 * math.exp(self.gamma * voltage_v + self.delta)
+        exp = math.exp
+
+        def power_w(temperature_c: float) -> float:
+            temperature_k = temperature_c + KELVIN_OFFSET
+            if temperature_k <= 0:
+                raise ValueError("temperature must be above absolute zero")
+            return k1v * temperature_k**2 * exp(slope / temperature_k) + gate
+
+        return power_w
+
     def as_tuple(self) -> tuple[float, float, float, float, float, float]:
         """Parameters as an ordered tuple (useful for fitting code)."""
         return (self.k1, self.k2, self.alpha, self.beta, self.gamma, self.delta)

@@ -1,0 +1,59 @@
+"""Bit-identical bulk accumulation primitives.
+
+The regime-stepped engine fast path replaces thousands of scalar
+``value += increment`` updates with one NumPy call per regime.  The
+results must be *bit-identical* to the scalar loop -- the repo's
+calibration tag and every cached artifact depend on exact float
+reproduction -- so the only primitive allowed here is ``np.cumsum``,
+which reduces strictly left-to-right in IEEE-754 order (unlike
+``np.sum``, whose pairwise tree reduction rounds differently).
+
+Placing the running value as element 0 of the summed row makes
+``cumsum`` resume an in-flight accumulation exactly:
+
+    cumsum([base, inc0, inc1, ...])[k] == base ``+=``-ed k times
+
+which is the identity the engine, counter bank, and energy integrators
+rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accumulate_rows(
+    bases, increments, steps: int | None = None
+) -> np.ndarray:
+    """Row-wise running totals, bit-identical to scalar ``+=`` loops.
+
+    Args:
+        bases: Per-row starting values, shape ``(rows,)``.
+        increments: Per-row, per-step increments.  Either shape
+            ``(rows, steps)`` for varying increments, or shape
+            ``(rows,)`` of constants broadcast over ``steps`` (which is
+            then required).
+        steps: Number of accumulation steps when ``increments`` is a
+            per-row constant vector.
+
+    Returns:
+        Array of shape ``(rows, steps + 1)`` where column 0 is
+        ``bases`` and column ``k`` is each base after ``k`` sequential
+        additions of its increments, accumulated strictly left-to-right
+        (identical rounding to a Python ``for`` loop).
+    """
+    bases = np.asarray(bases, dtype=np.float64)
+    increments = np.asarray(increments, dtype=np.float64)
+    if increments.ndim == 1:
+        if steps is None:
+            raise ValueError("steps is required for constant increments")
+        width = steps
+        increments = increments[:, None]
+    else:
+        width = increments.shape[1]
+        if steps is not None and steps != width:
+            raise ValueError("steps disagrees with increments' width")
+    table = np.empty((bases.shape[0], width + 1), dtype=np.float64)
+    table[:, 0] = bases
+    table[:, 1:] = increments
+    return np.cumsum(table, axis=1)

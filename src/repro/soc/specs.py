@@ -150,6 +150,18 @@ class PlatformSpec:
                 raise ValueError(
                     f"evaluation frequency {freq} is not a DVFS table entry"
                 )
+        # Lookup caches (the engine's governors query operating points
+        # every decision interval).  Set via object.__setattr__ because
+        # the dataclass is frozen; they are derived state, not fields.
+        object.__setattr__(self, "_freqs_hz", tuple(freqs))
+        object.__setattr__(
+            self,
+            "_state_by_freq",
+            {
+                state.freq_hz: (index, state)
+                for index, state in enumerate(self.dvfs_table)
+            },
+        )
 
     # ------------------------------------------------------------------
     # Operating-point queries
@@ -157,7 +169,7 @@ class PlatformSpec:
     @property
     def frequencies_hz(self) -> tuple[float, ...]:
         """All available core frequencies, ascending."""
-        return tuple(state.freq_hz for state in self.dvfs_table)
+        return self._freqs_hz
 
     @property
     def min_state(self) -> DvfsState:
@@ -175,10 +187,12 @@ class PlatformSpec:
         Raises:
             KeyError: If ``freq_hz`` is not in the DVFS table.
         """
-        for state in self.dvfs_table:
-            if state.freq_hz == freq_hz:
-                return state
-        raise KeyError(f"{freq_hz} Hz is not an operating point of {self.name}")
+        try:
+            return self._state_by_freq[freq_hz][1]
+        except KeyError:
+            raise KeyError(
+                f"{freq_hz} Hz is not an operating point of {self.name}"
+            ) from None
 
     def nearest_state(self, freq_hz: float) -> DvfsState:
         """Return the operating point closest to an arbitrary frequency."""
@@ -199,10 +213,12 @@ class PlatformSpec:
 
     def state_index(self, freq_hz: float) -> int:
         """Index of an exact operating point in the DVFS table."""
-        for index, state in enumerate(self.dvfs_table):
-            if state.freq_hz == freq_hz:
-                return index
-        raise KeyError(f"{freq_hz} Hz is not an operating point of {self.name}")
+        try:
+            return self._state_by_freq[freq_hz][0]
+        except KeyError:
+            raise KeyError(
+                f"{freq_hz} Hz is not an operating point of {self.name}"
+            ) from None
 
     def neighbour_states(self, freq_hz: float) -> tuple[DvfsState | None, DvfsState | None]:
         """The operating points one step below and above ``freq_hz``.

@@ -115,6 +115,62 @@ class ThermalModel:
             self._core_power_w = dict(per_core_power_w)
         return self.soc_temperature_c
 
+    def integrate_regime(
+        self,
+        steps: int,
+        dt_s: float,
+        non_leakage_soc_w: float,
+        rest_of_device_w: float,
+        leak_power_of_c,
+        per_core_power_w: dict[int, float] | None = None,
+    ) -> tuple[list[float], list[float], list[float]]:
+        """Advance ``steps`` steps of constant non-leakage power.
+
+        The engine fast path calls this once per regime: between events
+        every power component except leakage is constant, so only the
+        temperature/leakage feedback needs per-dt resolution.  The
+        recurrence below runs in exactly the per-step order of
+        :meth:`step` (leakage at the pre-step temperature, then the
+        exponential update), making the trajectory bit-identical to
+        ``steps`` individual ``step()`` calls.
+
+        Args:
+            steps: Number of dt steps in the regime.
+            dt_s: Step duration.
+            non_leakage_soc_w: Constant ``core dynamic + memory`` power.
+            rest_of_device_w: Constant rest-of-device floor.
+            leak_power_of_c: ``temperature_c -> leakage watts`` (see
+                :meth:`~repro.soc.leakage.LeakageParameters.bound_evaluator`).
+            per_core_power_w: Per-core power for the sensor readings,
+                installed at the end of the regime (constant within it).
+
+        Returns:
+            ``(leakage_w, total_w, temperature_c)`` lists of length
+            ``steps``; powers are pre-step values (what a breakdown at
+            the start of each step reports), temperatures post-step.
+        """
+        if dt_s < 0:
+            raise ValueError("dt_s must be non-negative")
+        decay = math.exp(-dt_s / self.tau_s)
+        ambient_c = self.ambient_c
+        r_th = self.r_th_c_per_w
+        temperature_c = self.soc_temperature_c
+        leak_w: list[float] = []
+        total_w: list[float] = []
+        temp_c: list[float] = []
+        for _ in range(steps):
+            leak = leak_power_of_c(temperature_c)
+            soc_w = non_leakage_soc_w + leak
+            leak_w.append(leak)
+            total_w.append(soc_w + rest_of_device_w)
+            target_c = ambient_c + soc_w * r_th
+            temperature_c = target_c + (temperature_c - target_c) * decay
+            temp_c.append(temperature_c)
+        self.soc_temperature_c = temperature_c
+        if per_core_power_w is not None:
+            self._core_power_w = dict(per_core_power_w)
+        return leak_w, total_w, temp_c
+
     def steady_state_c(self, total_power_w: float) -> float:
         """Temperature the package converges to at constant power."""
         if total_power_w < 0:

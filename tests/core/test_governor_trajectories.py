@@ -29,7 +29,7 @@ def _run(governor, page="bbc", kernel="bfs", dt=0.002):
         tasks=tasks,
         governor=governor,
         context=RunContext(spec=device.spec, page_features=page_obj.features),
-        config=EngineConfig(dt_s=dt),
+        config=EngineConfig(dt_s=dt, record_trace=True),
     )
     return engine.run()
 

@@ -25,6 +25,7 @@ def clean_runtime_config(monkeypatch):
     """Each test starts from unconfigured defaults and a clean env."""
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
     monkeypatch.delenv(pool_module.WORKER_ENV, raising=False)
+    monkeypatch.delenv(pool_module.FORCE_POOL_ENV, raising=False)
     configure(workers=None, progress=None)
     yield
     configure(workers=None, progress=None)
@@ -112,6 +113,11 @@ class TestSerialExecution:
 
 
 class TestPoolExecution:
+    @pytest.fixture(autouse=True)
+    def force_pool(self, monkeypatch):
+        """Exercise the pool machinery even on single-CPU hosts."""
+        monkeypatch.setenv(pool_module.FORCE_POOL_ENV, "1")
+
     def test_jobs_run_in_worker_processes(self):
         jobs = [
             Job(kind="tests.runtime.jobhelpers:pid_of_worker")
@@ -185,6 +191,37 @@ class TestPoolExecution:
         assert [r.value for r in results] == [0, 1, 2]
         assert all(r.worker_pid == os.getpid() for r in results)
         assert any("pool unavailable" in line for line in lines)
+
+
+class TestSerialDowngrade:
+    def test_single_worker_runs_serially(self):
+        lines = []
+        results = run_jobs(_echo_jobs(3), workers=1, progress=lines.append)
+        assert [r.value for r in results] == [0, 1, 2]
+        assert all(r.worker_pid == os.getpid() for r in results)
+        assert any("running serially" in line for line in lines)
+
+    def test_single_cpu_host_runs_serially(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+        lines = []
+        results = run_jobs(_echo_jobs(3), workers=4, progress=lines.append)
+        assert all(r.worker_pid == os.getpid() for r in results)
+        assert any("single-CPU host" in line for line in lines)
+
+    def test_force_pool_overrides_the_downgrade(self, monkeypatch):
+        monkeypatch.setenv(pool_module.FORCE_POOL_ENV, "1")
+        jobs = [Job(kind="tests.runtime.jobhelpers:pid_of_worker")]
+        results = run_jobs(jobs, workers=1)
+        assert results[0].value != os.getpid()
+
+    def test_two_workers_on_multicore_keep_the_pool(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 4)
+        jobs = [
+            Job(kind="tests.runtime.jobhelpers:pid_of_worker")
+            for _ in range(2)
+        ]
+        results = run_jobs(jobs, workers=2)
+        assert all(r.value != os.getpid() for r in results)
 
 
 class TestCacheAwareScheduling:

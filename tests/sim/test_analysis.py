@@ -30,7 +30,7 @@ def run_result():
         tasks=tasks,
         governor=governor,
         context=RunContext(spec=device.spec, page_features=page.features),
-        config=EngineConfig(dt_s=0.002),
+        config=EngineConfig(dt_s=0.002, record_trace=True),
     )
     return engine.run()
 

@@ -30,8 +30,8 @@ class TestTrace:
         trace.record(0.1, 1e9, _breakdown(), 50.0)
         trace.record(0.2, 2e9, _breakdown(), 51.0)
         assert len(trace) == 2
-        assert trace.freqs_hz == [1e9, 2e9]
-        assert trace.soc_temperature_c == [50.0, 51.0]
+        assert list(trace.freqs_hz) == [1e9, 2e9]
+        assert list(trace.soc_temperature_c) == [50.0, 51.0]
 
     def test_mean_power(self):
         trace = Trace()
