@@ -1,0 +1,38 @@
+"""Static enforcement of the repo's determinism & calibration invariants.
+
+The reproduction's headline guarantees -- the regime-stepped engine
+bit-identical to :class:`~repro.sim.engine.ReferenceEngine`, parallel
+campaigns bit-identical to serial ones, the vectorized serve kernel
+bit-equal to a scalar :class:`~repro.core.dora.DoraGovernor`, cached
+artifacts shared only while ``CALIBRATION_TAG`` is honest -- all rest
+on coding conventions: per-measurement :class:`numpy.random.SeedSequence`
+streams, strictly left-to-right accumulation instead of BLAS tree
+reductions, no wall-clock or environment reads inside model code.  The
+equivalence test suites *sample* those properties; this package makes
+them a static property of the source tree.
+
+:func:`run_lint` parses every module of the ``repro`` package and
+applies the rule set in :mod:`repro.analysis.rules` (R001..R006).
+Deliberate exceptions are either suppressed in place with a
+``# repro: allow[R00x]`` comment or grandfathered in the checked-in
+``lint-baseline.json``; anything else is a *new* finding and fails
+``python -m repro lint``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, default_baseline_path
+from repro.analysis.engine import LintReport, lint_paths, run_lint
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "default_baseline_path",
+    "lint_paths",
+    "run_lint",
+]

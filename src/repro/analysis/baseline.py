@@ -1,0 +1,115 @@
+"""The checked-in baseline of grandfathered findings.
+
+A baseline entry acknowledges a *deliberate* violation that predates
+the linter (or that a rule is knowingly conservative about) without
+silencing the rule for future code.  Entries are keyed by
+``(rule, path, snippet)`` rather than line numbers, so unrelated edits
+that shift code do not invalidate them; each key carries a count, so a
+second identical violation on a new line still fails the gate.
+
+The baseline is *minimal by construction*: ``repro lint`` reports
+stale entries (baselined findings that no longer occur), and the test
+suite fails when any exist, so fixed violations must be removed from
+the file in the same change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: Name of the checked-in baseline file at the repository root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+def default_baseline_path() -> Path:
+    """The repository's checked-in baseline file location.
+
+    Resolved relative to the installed package (the same repo-root
+    derivation :mod:`repro.experiments.cache` uses for its default
+    cache directory), so the CLI finds it from any working directory.
+    """
+    return Path(__file__).resolve().parents[3] / BASELINE_FILENAME
+
+
+@dataclass
+class Baseline:
+    """Grandfathered finding counts keyed by ``(rule, path, snippet)``."""
+
+    entries: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (missing file = empty baseline).
+
+        Raises:
+            ValueError: On an unrecognized schema version or a
+                malformed entry, so a corrupted baseline can never
+                silently allowlist everything.
+        """
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        entries: dict[tuple[str, str, str], int] = {}
+        for entry in data.get("entries", ()):
+            try:
+                key = (entry["rule"], entry["path"], entry["snippet"])
+                count = int(entry.get("count", 1))
+            except (KeyError, TypeError) as exc:
+                raise ValueError(f"malformed baseline entry in {path}: {entry!r}") from exc
+            if count <= 0:
+                raise ValueError(f"non-positive count in baseline entry {entry!r}")
+            entries[key] = entries.get(key, 0) + count
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """A baseline that grandfathers exactly the given findings."""
+        entries: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = finding.baseline_key
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline file (sorted, one entry per key)."""
+        records = [
+            {"rule": rule, "path": mod_path, "snippet": snippet, "count": count}
+            for (rule, mod_path, snippet), count in sorted(self.entries.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "entries": records}
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[tuple[str, str, str]]]:
+        """Split findings into (baselined, new) and report stale keys.
+
+        Each baseline key absorbs up to ``count`` matching findings;
+        anything beyond that -- or not in the baseline at all -- is
+        new.  Keys with unspent budget are stale (the violation was
+        fixed but the entry kept), which the minimality test rejects.
+        """
+        budget = dict(self.entries)
+        baselined: list[Finding] = []
+        new: list[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [key for key, remaining in sorted(budget.items()) if remaining > 0]
+        return baselined, new, stale

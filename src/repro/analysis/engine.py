@@ -1,0 +1,212 @@
+"""Lint driver: parse modules, apply rules, suppressions, baseline.
+
+Suppression grammar (checked per line):
+
+* ``# repro: allow[R001]`` -- suppress rule R001 on this line (or, when
+  the comment is a standalone line, on the next line).
+* ``# repro: allow[R001,R005]`` -- multiple rules.
+* ``# repro: allow[*]`` -- any rule (use sparingly).
+* ``# repro: bit-exact`` -- module tag opting into the R003 contract
+  (the module's outputs must be bit-identical to a scalar reference).
+
+Anything a suppression does not cover is matched against the baseline
+(:mod:`repro.analysis.baseline`); what remains is *new* and fails the
+``repro lint`` gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.rules import (
+    ALL_RULES,
+    ModuleUnderAnalysis,
+    Rule,
+    build_import_tables,
+)
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]")
+_BIT_EXACT_RE = re.compile(r"#\s*repro:\s*bit-exact\b")
+
+
+@dataclass
+class LintReport:
+    """Everything one lint pass produced.
+
+    Attributes:
+        new_findings: Unsuppressed, unbaselined violations -- these
+            fail the gate.
+        baselined: Violations absorbed by the checked-in baseline.
+        suppressed: Violations silenced by inline allow comments.
+        stale_baseline: Baseline keys whose violation no longer exists
+            (the entry should be deleted; the minimality test enforces
+            this).
+        files_scanned: Number of modules parsed.
+    """
+
+    new_findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale_baseline: list[tuple[str, str, str]] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the gate passes (no new findings)."""
+        return not self.new_findings
+
+    @property
+    def all_violations(self) -> list[Finding]:
+        """Every violation found, including baselined ones."""
+        return sort_findings(self.baselined + self.new_findings)
+
+    def to_record(self) -> dict:
+        """JSON-serializable report (``repro lint --format json``)."""
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "new": [f.to_record() for f in sort_findings(self.new_findings)],
+            "baselined": [f.to_record() for f in sort_findings(self.baselined)],
+            "suppressed": [f.to_record() for f in sort_findings(self.suppressed)],
+            "stale_baseline": [
+                {"rule": rule, "path": path, "snippet": snippet}
+                for rule, path, snippet in self.stale_baseline
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable text report."""
+        lines = []
+        for finding in sort_findings(self.new_findings):
+            lines.append(finding.render())
+        if self.stale_baseline:
+            lines.append("")
+            lines.append("stale baseline entries (violation fixed; remove the entry):")
+            for rule, path, snippet in self.stale_baseline:
+                lines.append(f"  {rule} {path}: {snippet}")
+        summary = (
+            f"{self.files_scanned} files scanned: "
+            f"{len(self.new_findings)} new, "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed, "
+            f"{len(self.stale_baseline)} stale baseline entries"
+        )
+        if lines:
+            lines.append("")
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+class SuppressionIndex:
+    """Per-module map of line -> suppressed rule ids."""
+
+    def __init__(self, lines: Sequence[str]) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        for number, text in enumerate(lines, start=1):
+            match = _ALLOW_RE.search(text)
+            if not match:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            # A standalone comment line covers the statement below it;
+            # a trailing comment covers its own line.
+            target = number + 1 if text.lstrip().startswith("#") else number
+            self._by_line.setdefault(target, set()).update(rules)
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether an allow comment suppresses this finding."""
+        rules = self._by_line.get(finding.line)
+        if not rules:
+            return False
+        return "*" in rules or finding.rule_id in rules
+
+
+def parse_module(path: Path, package_root: Path) -> ModuleUnderAnalysis:
+    """Parse one source file into a rule-ready module record.
+
+    Raises:
+        SyntaxError: When the file does not parse; lint treats a
+            non-parsing module as a hard error, not a finding.
+    """
+    text = path.read_text()
+    tree = ast.parse(text, filename=str(path))
+    try:
+        rel = path.resolve().relative_to(package_root.resolve()).as_posix()
+    except ValueError:
+        rel = path.name
+    lines = text.splitlines()
+    module = ModuleUnderAnalysis(
+        path=rel,
+        tree=tree,
+        lines=lines,
+        bit_exact=any(_BIT_EXACT_RE.search(line) for line in lines),
+    )
+    build_import_tables(module)
+    return module
+
+
+def discover_files(package_root: Path) -> list[Path]:
+    """All Python sources under a package root, deterministic order."""
+    return sorted(
+        path
+        for path in package_root.rglob("*.py")
+        if "__pycache__" not in path.parts
+    )
+
+
+def lint_paths(
+    files: Iterable[Path],
+    package_root: Path,
+    rules: Sequence[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Lint an explicit set of files against a package root.
+
+    Args:
+        files: Source files to analyze.
+        package_root: Directory treated as the ``repro`` package root;
+            rule path scoping (restricted trees, allowlists) and
+            finding paths are relative to it.
+        rules: Rule subset (default: all shipped rules).
+        baseline: Grandfathered findings (default: empty).
+    """
+    active_rules = list(rules) if rules is not None else list(ALL_RULES)
+    baseline = baseline or Baseline()
+    report = LintReport()
+    raw: list[Finding] = []
+    for path in files:
+        module = parse_module(Path(path), package_root)
+        report.files_scanned += 1
+        suppressions = SuppressionIndex(module.lines)
+        for rule in active_rules:
+            for finding in rule.check(module):
+                if suppressions.covers(finding):
+                    report.suppressed.append(finding)
+                else:
+                    raw.append(finding)
+    baselined, new, stale = baseline.partition(sort_findings(raw))
+    report.baselined = baselined
+    report.new_findings = new
+    report.stale_baseline = stale
+    return report
+
+
+def run_lint(
+    package_root: Path | None = None,
+    rules: Sequence[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Lint every module of a package tree (default: installed repro)."""
+    if package_root is None:
+        package_root = Path(__file__).resolve().parents[1]
+    return lint_paths(
+        discover_files(package_root),
+        package_root=package_root,
+        rules=rules,
+        baseline=baseline,
+    )

@@ -1,0 +1,55 @@
+"""Finding records produced by the static-analysis rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule_id: Identifier of the rule that fired (``"R001"``..).
+        path: Module path relative to the scanned package root, in
+            POSIX form (e.g. ``"soc/cache.py"``).
+        line: 1-based source line of the violation.
+        col: 0-based column of the violating node.
+        message: Human-readable description with the remediation hint.
+        snippet: The stripped source line, used both for display and as
+            the location-independent part of the baseline key (so a
+            baselined finding survives unrelated edits that shift line
+            numbers).
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Key used to match this finding against baseline entries."""
+        return (self.rule_id, self.path, self.snippet)
+
+    def to_record(self) -> dict:
+        """JSON-serializable representation (``repro lint --format json``)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        """One-line text form (``path:line:col: R00x message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable display order: by path, then line, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))

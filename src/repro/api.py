@@ -9,13 +9,24 @@ Two entry points cover the common cases:
 * :func:`quick_run` -- load one page under a governor and return the
   engine's :class:`~repro.sim.engine.RunResult`.
 
+The calibration identity of the repo is also re-exported here --
+:data:`CALIBRATION_TAG` (cache-key epoch), :data:`CALIBRATION_FINGERPRINT`
+(pinned hash of every model-affecting constant) and
+:func:`model_fingerprint` (the live hash) -- so tools and tests never
+need to reach into :mod:`repro.experiments.cache` directly.
+
 Everything here delegates to the layered packages; see
 :mod:`repro.experiments` for full-suite evaluation.
 """
 
 from __future__ import annotations
 
-from repro.experiments.cache import memoized
+from repro.experiments.cache import (
+    CALIBRATION_FINGERPRINT,
+    CALIBRATION_TAG,
+    memoized,
+)
+from repro.experiments.fingerprint import model_fingerprint, verify_calibration
 from repro.experiments.harness import HarnessConfig, make_governor, run_workload
 from repro.models.predictor import DoraPredictor
 from repro.models.training import (
@@ -25,6 +36,17 @@ from repro.models.training import (
     train_models,
 )
 from repro.sim.engine import RunResult
+
+__all__ = [
+    "CALIBRATION_FINGERPRINT",
+    "CALIBRATION_TAG",
+    "default_predictor",
+    "default_trained_models",
+    "make_decision_service",
+    "model_fingerprint",
+    "quick_run",
+    "verify_calibration",
+]
 
 
 def default_trained_models(

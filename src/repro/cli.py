@@ -16,6 +16,9 @@ Commands:
 * ``train`` -- run the measurement campaign, train, and save the model
   bundle to JSON.
 * ``classify`` -- the measured Table III.
+* ``lint`` -- static determinism & calibration analysis (rules
+  R001..R006 of :mod:`repro.analysis`); non-zero exit on any finding
+  not suppressed inline or grandfathered in ``lint-baseline.json``.
 """
 
 from __future__ import annotations
@@ -331,6 +334,59 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import Baseline, default_baseline_path, run_lint
+    from repro.analysis.rules import RULES_BY_ID
+
+    package_root = Path(args.root) if args.root else None
+    if args.no_baseline:
+        baseline = Baseline()
+        baseline_path = None
+    else:
+        baseline_path = (
+            Path(args.baseline) if args.baseline else default_baseline_path()
+        )
+        baseline = Baseline.load(baseline_path)
+    rules = None
+    if args.rules:
+        unknown = [r for r in args.rules if r not in RULES_BY_ID]
+        if unknown:
+            print(
+                f"unknown rules: {', '.join(unknown)}; "
+                f"choices: {', '.join(RULES_BY_ID)}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [RULES_BY_ID[r] for r in args.rules]
+
+    report = run_lint(package_root=package_root, rules=rules, baseline=baseline)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("--write-baseline conflicts with --no-baseline", file=sys.stderr)
+            return 2
+        Baseline.from_findings(report.all_violations).save(baseline_path)
+        print(f"wrote {len(report.all_violations)} entries to {baseline_path}")
+        return 0
+
+    if args.format == "json":
+        rendered = json.dumps(report.to_record(), indent=2)
+    else:
+        rendered = report.render()
+    print(rendered)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report.to_record(), indent=2) + "\n"
+        )
+        print(f"wrote {args.output}", file=sys.stderr)
+    # Stale baseline entries fail the gate too: the baseline must stay
+    # minimal, or fixed violations could silently regress.
+    return 0 if report.ok and not report.stale_baseline else 1
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
     from repro.experiments.calibration import characterize
 
@@ -431,6 +487,40 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("classify", help="measured Table III").set_defaults(
         func=_cmd_classify
     )
+
+    lint_parser = commands.add_parser(
+        "lint", help="static determinism & calibration analysis"
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout",
+    )
+    lint_parser.add_argument(
+        "--output", default=None, metavar="JSON",
+        help="also write the JSON report to this path (CI artifact)",
+    )
+    lint_parser.add_argument(
+        "--rules", nargs="+", default=None, metavar="R00x",
+        help="restrict to a subset of rules",
+    )
+    lint_parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="alternate package root to scan (default: the installed "
+        "repro package)",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="JSON",
+        help="baseline file (default: lint-baseline.json at the repo root)",
+    )
+    lint_parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline (report every violation)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the baseline from current findings and exit",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
     commands.add_parser(
         "characterize", help="check every calibration property"
     ).set_defaults(func=_cmd_characterize)

@@ -32,6 +32,16 @@ from typing import Any, Callable
 #: potentially any cached governor decision downstream.
 CALIBRATION_TAG = "dora-repro-v11"
 
+#: Pinned hash of every model-affecting constant (leakage parameters,
+#: Table-I layout, DVFS tables and piecewise knots, prediction floors,
+#: power/thermal coefficients, campaign defaults); computed by
+#: :func:`repro.experiments.fingerprint.model_fingerprint`.  Whenever
+#: the computed value drifts from this pin, the change altered model
+#: behaviour: bump :data:`CALIBRATION_TAG` and re-pin in the same
+#: commit (``tests/experiments/test_fingerprint.py`` enforces this;
+#: rule R006 of ``repro.analysis`` forbids runtime mutation).
+CALIBRATION_FINGERPRINT = "838f80e01341286c"
+
 
 def cache_dir() -> Path:
     """The cache directory (created on demand)."""

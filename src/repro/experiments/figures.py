@@ -14,7 +14,7 @@ every figure after the first full run is cheap.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -42,7 +42,6 @@ from repro.experiments.harness import (
 )
 from repro.experiments.reporting import format_table, frac, ghz, pct, seconds
 from repro.experiments.suite import all_combos, combo_for
-from repro.models.features import IndependentVariables
 from repro.models.performance_model import PiecewiseLoadTimeModel
 from repro.models.piecewise import PiecewiseSurface
 from repro.models.power_model import DynamicPowerModel

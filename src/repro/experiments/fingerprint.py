@@ -1,0 +1,125 @@
+"""Fingerprint of every model-affecting constant, tied to the tag.
+
+``CALIBRATION_TAG`` (:mod:`repro.experiments.cache`) keys every cached
+artifact, but nothing used to *verify* that the tag was bumped when the
+physics actually changed -- editing a leakage constant or a DVFS
+voltage without a bump silently poisons caches shared across machines.
+
+:func:`model_fingerprint` hashes the full set of constants that flow
+into trained models and cached measurements:
+
+* the ground-truth Equation-5 leakage parameters and the Kelvin offset;
+* the Table-I feature layout (names and count);
+* both platform DVFS tables (frequency, voltage, bus pairing), cache
+  geometries, memory timings, and the evaluation-frequency subsets --
+  including the piecewise-model knots (the distinct bus frequencies
+  each table induces);
+* the prediction floors and the default response-surface families;
+* the ground-truth power-model and thermal-model coefficients;
+* the campaign defaults (:class:`~repro.models.training.TrainingConfig`)
+  and the leakage-calibration grid noise.
+
+The pinned value lives next to the tag as
+``repro.experiments.cache.CALIBRATION_FINGERPRINT``; the tier-1 test
+``tests/experiments/test_fingerprint.py`` fails whenever the computed
+fingerprint drifts from the pinned one, forcing the change to land
+together with a ``CALIBRATION_TAG`` bump (and a re-pin).  The static
+side of the same contract is rule R006 in :mod:`repro.analysis.rules`,
+which forbids any module outside ``experiments/calibration.py`` from
+mutating these names.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+from repro.soc.specs import PlatformSpec
+
+
+def _dataclass_defaults(cls: type) -> tuple[tuple[str, Any], ...]:
+    """(name, default) pairs of a dataclass's scalar field defaults."""
+    pairs = []
+    for field in dataclasses.fields(cls):
+        if field.default is not dataclasses.MISSING:
+            pairs.append((field.name, field.default))
+    return tuple(pairs)
+
+
+def _spec_payload(spec: PlatformSpec) -> dict[str, Any]:
+    """The model-relevant constants of one platform description."""
+    bus_knots = sorted({state.bus_freq_hz for state in spec.dvfs_table})
+    return {
+        "name": spec.name,
+        "num_cores": spec.num_cores,
+        "dvfs": tuple(
+            (state.freq_hz, state.voltage_v, state.bus_freq_hz)
+            for state in spec.dvfs_table
+        ),
+        # The piecewise surfaces fit one segment per distinct bus
+        # frequency; these knots define the segment routing.
+        "piecewise_knots": tuple(bus_knots),
+        "evaluation_freqs_hz": spec.evaluation_freqs_hz,
+        "l1": dataclasses.astuple(spec.l1_geometry),
+        "l2": dataclasses.astuple(spec.l2_geometry),
+        "memory": dataclasses.astuple(spec.memory),
+    }
+
+
+def fingerprint_payload() -> dict[str, Any]:
+    """The canonical dictionary of model-affecting constants.
+
+    Values are plain Python scalars/tuples so ``repr`` is stable and
+    the hash is reproducible across processes and platforms.  Constants
+    are read through their defining modules *at call time*, so the
+    fingerprint observes monkeypatched or otherwise-mutated values --
+    that is what lets the drift test demonstrate the guard.
+    """
+    from repro.models import features, performance_model, power_model
+    from repro.models.regression import ResponseSurface
+    from repro.models.training import TrainingConfig
+    from repro.soc import leakage, specs, thermal
+    from repro.soc import power as soc_power
+
+    return {
+        "leakage": leakage.nexus5_leakage_parameters().as_tuple(),
+        "kelvin_offset": leakage.KELVIN_OFFSET,
+        "table_i": features.TABLE_I_NAMES,
+        "num_features": features.NUM_FEATURES,
+        "floors": (
+            performance_model.MIN_PREDICTED_LOAD_TIME_S,
+            power_model.MIN_PREDICTED_POWER_W,
+        ),
+        "default_surfaces": (
+            ResponseSurface.INTERACTION.value,
+            ResponseSurface.LINEAR.value,
+        ),
+        "platforms": tuple(
+            _spec_payload(spec)
+            for spec in (specs.nexus5_spec(), specs.generic_hexcore_spec())
+        ),
+        "power_model": _dataclass_defaults(soc_power.DevicePowerModel),
+        "thermal_model": _dataclass_defaults(thermal.ThermalModel),
+        "training_defaults": _dataclass_defaults(TrainingConfig),
+    }
+
+
+def model_fingerprint() -> str:
+    """SHA-256 digest (16 hex chars) of the constant payload."""
+    payload = repr(sorted(fingerprint_payload().items(), key=lambda kv: kv[0]))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def verify_calibration() -> tuple[bool, str, str]:
+    """Compare the live fingerprint against the pinned one.
+
+    Returns:
+        ``(ok, current, pinned)``.  ``ok`` is False when a
+        model-affecting constant changed without re-pinning -- which by
+        policy must happen together with a ``CALIBRATION_TAG`` bump.
+    """
+    from repro.experiments.cache import CALIBRATION_FINGERPRINT
+
+    current = model_fingerprint()
+    return current == CALIBRATION_FINGERPRINT, current, CALIBRATION_FINGERPRINT

@@ -14,14 +14,20 @@ on cross terms (both in :mod:`repro.models.regression`).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, TypeVar
 
 import numpy as np
 
+from repro.models.features import IndependentVariables
 from repro.models.leakage_fit import FittedLeakageModel
 from repro.models.performance_model import PiecewiseLoadTimeModel
 from repro.models.power_model import DynamicPowerModel
 from repro.models.regression import ResponseSurface
 from repro.models.training import Observation
+
+#: Fitted-model type threaded through the generic CV driver (a
+#: PiecewiseLoadTimeModel or a DynamicPowerModel).
+_M = TypeVar("_M")
 
 
 @dataclass(frozen=True)
@@ -90,8 +96,8 @@ def _cross_validate(
     observations: list[Observation],
     surface: ResponseSurface,
     targets: list[float],
-    fit,
-    predict,
+    fit: Callable[[list[IndependentVariables], list[float]], _M],
+    predict: Callable[[_M, IndependentVariables], float],
 ) -> CrossValidationScore:
     if len(observations) != len(targets):
         raise ValueError("observations and targets must be parallel")
@@ -126,7 +132,9 @@ def _cross_validate(
     return CrossValidationScore(
         surface=surface,
         in_sample_error=float(np.mean(in_sample_errors)),
-        held_out_error=float(np.mean(list(held_out_by_page.values()))),
+        held_out_error=float(
+            np.mean([held_out_by_page[page] for page in pages])
+        ),
         worst_page_error=max(held_out_by_page.values()),
     )
 

@@ -407,6 +407,8 @@ def overall_accuracy(models: TrainedModels) -> tuple[float, float]:
     The paper's headline numbers: 97.5 % and 96 %.
     """
     summary = page_error_summary(models)
-    time_mean = float(np.mean([errors[0] for errors in summary.values()]))
-    power_mean = float(np.mean([errors[1] for errors in summary.values()]))
+    # Reporting-only aggregate; page order is the campaign's fixed
+    # observation order, so the mean is deterministic as written.
+    time_mean = float(np.mean([errors[0] for errors in summary.values()]))  # repro: allow[R005]
+    power_mean = float(np.mean([errors[1] for errors in summary.values()]))  # repro: allow[R005]
     return 1.0 - time_mean, 1.0 - power_mean

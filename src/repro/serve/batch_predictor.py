@@ -25,6 +25,8 @@ The kernel deliberately owns *no* coefficients and *no* selection
 rule: surfaces and leakage parameters are borrowed from the trained
 bundle, and selection stays in :func:`repro.core.ppw.select_fopt_rows`.
 """
+# repro: bit-exact -- outputs must equal the scalar DoraPredictor bit
+# for bit (R003 forbids BLAS/pairwise reductions in this module).
 
 from __future__ import annotations
 
@@ -36,9 +38,11 @@ import numpy as np
 from repro.browser.dom import PageFeatures
 from repro.models.features import NUM_FEATURES
 from repro.models.performance_model import MIN_PREDICTED_LOAD_TIME_S
+from repro.models.piecewise import PiecewiseSurface
 from repro.models.power_model import MIN_PREDICTED_POWER_W
 from repro.models.regression import RegressionModel
 from repro.soc.leakage import KELVIN_OFFSET, LeakageParameters
+from repro.soc.specs import PlatformSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.models.predictor import DoraPredictor
@@ -82,9 +86,9 @@ class BatchDoraPredictor:
 
     def __init__(
         self,
-        spec,
-        load_time_surfaces,
-        power_surfaces,
+        spec: PlatformSpec,
+        load_time_surfaces: PiecewiseSurface,
+        power_surfaces: PiecewiseSurface,
         leakage_parameters: LeakageParameters,
         candidate_freqs_hz: Iterable[float],
     ) -> None:
@@ -123,7 +127,7 @@ class BatchDoraPredictor:
         """Number of candidate frequencies (F)."""
         return int(self.freqs_hz.shape[0])
 
-    def _route(self, surfaces) -> list[_SegmentRoute]:
+    def _route(self, surfaces: PiecewiseSurface) -> list[_SegmentRoute]:
         """Group candidate columns by the piecewise segment serving them."""
         by_segment: dict[int, tuple[RegressionModel, list[int]]] = {}
         for index, bus_mhz in enumerate(self._bus_mhz):

@@ -39,6 +39,8 @@ Two execution strategies share these semantics:
   back to the single-step path -- so results are **bit-identical** to
   the reference loop (asserted by ``tests/sim/test_engine_equivalence``).
 """
+# repro: bit-exact -- the fast path must equal ReferenceEngine bit for
+# bit (R003 forbids BLAS/pairwise reductions in this module).
 
 from __future__ import annotations
 
@@ -51,8 +53,8 @@ from repro.sim.scheduler import CorePlan, plan
 from repro.sim.task import Task
 from repro.sim.trace import Trace
 from repro.soc.cache import CacheDemand
-from repro.soc.cpu import CpiInputs, effective_cpi
 from repro.soc.counters import CoreCounters
+from repro.soc.cpu import CpiInputs, effective_cpi
 from repro.soc.device import Device
 from repro.soc.power import CoreActivity
 

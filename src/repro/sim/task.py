@@ -12,7 +12,7 @@ fast the phase actually retires instructions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.soc.power import DEFAULT_CORE_CAPACITANCE_F
 

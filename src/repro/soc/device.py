@@ -18,7 +18,7 @@ from repro.soc.counters import CounterBank
 from repro.soc.dvfs import DvfsActuator, SwitchCost
 from repro.soc.memory import MemoryContentionModel
 from repro.soc.power import DevicePowerModel, nexus5_power_model
-from repro.soc.specs import PlatformSpec, nexus5_spec
+from repro.soc.specs import DvfsState, PlatformSpec, nexus5_spec
 from repro.soc.thermal import AmbientScenario, ThermalModel, room_temperature
 
 
@@ -67,7 +67,7 @@ class Device:
         self.memory = MemoryContentionModel(spec=self.spec.memory)
 
     @property
-    def state(self):
+    def state(self) -> DvfsState:
         """Current DVFS operating point."""
         return self.actuator.state
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 #: Conversion offset between Celsius and Kelvin.
 KELVIN_OFFSET = 273.15
@@ -67,7 +68,7 @@ class LeakageParameters:
         gate = self.k2 * math.exp(self.gamma * voltage_v + self.delta)
         return subthreshold + gate
 
-    def bound_evaluator(self, voltage_v: float):
+    def bound_evaluator(self, voltage_v: float) -> Callable[[float], float]:
         """A ``temperature_c -> power_w`` closure for a fixed voltage.
 
         Hoists every voltage-only subexpression out of the per-call

@@ -16,14 +16,17 @@ Placing the running value as element 0 of the summed row makes
 which is the identity the engine, counter bank, and energy integrators
 rely on.
 """
+# repro: bit-exact -- the cumsum contract above is the whole point of
+# this module (R003 forbids BLAS/pairwise reductions here).
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 
 def accumulate_rows(
-    bases, increments, steps: int | None = None
+    bases: ArrayLike, increments: ArrayLike, steps: int | None = None
 ) -> np.ndarray:
     """Row-wise running totals, bit-identical to scalar ``+=`` loops.
 

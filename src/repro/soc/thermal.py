@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 @dataclass(frozen=True)
@@ -121,7 +122,7 @@ class ThermalModel:
         dt_s: float,
         non_leakage_soc_w: float,
         rest_of_device_w: float,
-        leak_power_of_c,
+        leak_power_of_c: Callable[[float], float],
         per_core_power_w: dict[int, float] | None = None,
     ) -> tuple[list[float], list[float], list[float]]:
         """Advance ``steps`` steps of constant non-leakage power.

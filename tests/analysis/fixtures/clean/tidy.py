@@ -1,0 +1,13 @@
+"""Fixture: clean module plus one suppressed violation of each style."""
+
+import numpy as np
+
+# repro: allow[R001] -- standalone comment covers the next line.
+_ENTROPY = np.random.default_rng()
+
+_JITTER = np.random.rand(4)  # repro: allow[*] -- trailing wildcard.
+
+
+def mean_of(values: dict) -> float:
+    ordered = [values[key] for key in sorted(values)]
+    return sum(ordered) / len(ordered)

@@ -1,0 +1,7 @@
+"""Fixture: violates exactly R001 (global NumPy RNG draw)."""
+
+import numpy as np
+
+
+def jitter(n: int):
+    return np.random.rand(n)

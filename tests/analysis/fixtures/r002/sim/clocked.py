@@ -1,0 +1,7 @@
+"""Fixture: violates exactly R002 (wall-clock read under sim/)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,8 @@
+"""Fixture: violates exactly R003 (BLAS dot in a bit-exact module)."""
+# repro: bit-exact
+
+import numpy as np
+
+
+def reduce_rows(matrix, weights):
+    return np.dot(matrix, weights)

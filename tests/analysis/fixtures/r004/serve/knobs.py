@@ -1,0 +1,7 @@
+"""Fixture: violates exactly R004 (environment read outside the pool/cache)."""
+
+import os
+
+
+def batch_size() -> int:
+    return int(os.environ.get("REPRO_BATCH", "64"))

@@ -1,0 +1,5 @@
+"""Fixture: violates exactly R005 (float sum over a set)."""
+
+
+def total_energy(samples) -> float:
+    return sum({round(s, 6) for s in samples})

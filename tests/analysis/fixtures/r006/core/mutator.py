@@ -1,0 +1,9 @@
+"""Fixture: violates exactly R006 (rebinds a fingerprinted constant)."""
+
+from repro.soc.leakage import KELVIN_OFFSET
+
+
+def recalibrate() -> float:
+    global KELVIN_OFFSET
+    KELVIN_OFFSET = 273.0
+    return KELVIN_OFFSET

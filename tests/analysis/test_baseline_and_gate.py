@@ -1,0 +1,140 @@
+"""Suppression/baseline round trips and the repo-level gate.
+
+The last two tests are the repo's own acceptance gate: ``repro lint``
+must pass at HEAD, and the shipped baseline must stay minimal (every
+entry still matches a live, deliberate violation).
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, default_baseline_path, run_lint
+from repro.analysis.baseline import BASELINE_VERSION
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _copy_fixture(tmp_path: Path, name: str) -> Path:
+    root = tmp_path / name
+    shutil.copytree(FIXTURES / name, root)
+    return root
+
+
+# ----------------------------------------------------------------------
+# Suppression round trip
+# ----------------------------------------------------------------------
+def test_inline_suppression_silences_finding(tmp_path):
+    root = _copy_fixture(tmp_path, "r005")
+    target = root / "stats.py"
+    source = target.read_text().replace(
+        "return sum({round(s, 6) for s in samples})",
+        "return sum({round(s, 6) for s in samples})  # repro: allow[R005]",
+    )
+    target.write_text(source)
+    report = run_lint(package_root=root)
+    assert report.ok
+    assert [f.rule_id for f in report.suppressed] == ["R005"]
+
+
+def test_suppression_for_wrong_rule_does_not_silence(tmp_path):
+    root = _copy_fixture(tmp_path, "r005")
+    target = root / "stats.py"
+    target.write_text(
+        target.read_text().replace(
+            "return sum({round(s, 6) for s in samples})",
+            "return sum({round(s, 6) for s in samples})  # repro: allow[R001]",
+        )
+    )
+    report = run_lint(package_root=root)
+    assert not report.ok
+    assert report.suppressed == []
+
+
+# ----------------------------------------------------------------------
+# Baseline round trip
+# ----------------------------------------------------------------------
+def test_baseline_round_trip(tmp_path):
+    root = _copy_fixture(tmp_path, "r001")
+    first = run_lint(package_root=root)
+    assert len(first.new_findings) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(first.new_findings).save(baseline_path)
+    reloaded = Baseline.load(baseline_path)
+
+    second = run_lint(package_root=root, baseline=reloaded)
+    assert second.ok
+    assert len(second.baselined) == 1
+    assert second.stale_baseline == []
+
+    # A *second* identical violation is new: the count budget is spent.
+    extra = root / "workloads" / "noisier.py"
+    extra.write_text((root / "workloads" / "noisy.py").read_text())
+    third = run_lint(package_root=root, baseline=reloaded)
+    assert len(third.baselined) == 1
+    assert len(third.new_findings) == 1
+
+
+def test_fixed_violation_reports_stale_entry(tmp_path):
+    root = _copy_fixture(tmp_path, "r001")
+    report = run_lint(package_root=root)
+    baseline = Baseline.from_findings(report.new_findings)
+
+    (root / "workloads" / "noisy.py").write_text(
+        '"""Fixed."""\n\n\ndef jitter(n: int):\n    return [0.0] * n\n'
+    )
+    after = run_lint(package_root=root, baseline=baseline)
+    assert after.ok  # nothing new...
+    assert len(after.stale_baseline) == 1  # ...but the entry must go
+
+
+def test_baseline_survives_line_shifts(tmp_path):
+    """Keys are snippet-based, so edits above the violation don't break."""
+    root = _copy_fixture(tmp_path, "r001")
+    baseline = Baseline.from_findings(run_lint(package_root=root).new_findings)
+
+    target = root / "workloads" / "noisy.py"
+    target.write_text("# a new header comment\n# another\n" + target.read_text())
+    report = run_lint(package_root=root, baseline=baseline)
+    assert report.ok
+    assert report.stale_baseline == []
+
+
+def test_baseline_rejects_bad_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": BASELINE_VERSION + 1, "entries": []}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+def test_baseline_rejects_malformed_entry(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps({"version": BASELINE_VERSION, "entries": [{"rule": "R001"}]})
+    )
+    with pytest.raises(ValueError, match="malformed"):
+        Baseline.load(path)
+
+
+# ----------------------------------------------------------------------
+# The repo-level gate
+# ----------------------------------------------------------------------
+def test_repo_lints_clean_at_head():
+    """``repro lint`` passes on the shipped tree with the shipped baseline."""
+    report = run_lint(baseline=Baseline.load(default_baseline_path()))
+    assert report.ok, report.render()
+
+
+def test_shipped_baseline_is_minimal():
+    """Every baseline entry still matches a live violation (no stale)."""
+    report = run_lint(baseline=Baseline.load(default_baseline_path()))
+    assert report.stale_baseline == [], report.render()
+    # And the baseline is genuinely exercised -- the grandfathered
+    # findings exist (guards against the baseline silently drifting to
+    # a no-op while violations get suppressed some other way).
+    assert len(report.baselined) == sum(
+        Baseline.load(default_baseline_path()).entries.values()
+    )

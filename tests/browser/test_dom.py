@@ -1,6 +1,5 @@
 """DOM tree and Table-I census tests."""
 
-import pytest
 
 from repro.browser.dom import DomNode, PageFeatures, census
 from repro.browser.html import parse_html

@@ -1,6 +1,5 @@
 """Property tests: every governor's decision stays in the DVFS domain."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

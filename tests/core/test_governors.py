@@ -3,7 +3,6 @@
 import pytest
 
 from repro.browser.dom import PageFeatures
-from repro.core.dora import DoraGovernor
 from repro.core.governors import (
     DeadlineGovernor,
     EnergyEfficientGovernor,

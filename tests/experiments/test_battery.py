@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.ppw import FrequencyPrediction
 from repro.experiments.battery import (
-    BatteryLifeResult,
     UsageProfile,
     battery_life,
     idle_power_w,

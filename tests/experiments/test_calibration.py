@@ -1,7 +1,6 @@
 """Calibration-report structure tests (logic only; the full measured
 characterization runs via the CLI / benchmarks against cached sweeps)."""
 
-import pytest
 
 from repro.experiments.calibration import CalibrationReport, Property
 

@@ -11,7 +11,6 @@ import csv
 import pytest
 
 from repro.cli import build_parser, main
-from repro.core.ppw import FrequencyPrediction
 from repro.experiments import export
 from repro.experiments.figures import Fig01Result, Fig07Result, Fig08Result, Fig08Row, Fig11Result
 

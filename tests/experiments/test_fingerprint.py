@@ -1,0 +1,110 @@
+"""The calibration fingerprint: constants cannot drift without a tag bump.
+
+``test_fingerprint_matches_pin`` is the actual guard: it fails on any
+change to a model-affecting constant that does not also re-pin
+``CALIBRATION_FINGERPRINT`` (which by policy happens together with a
+``CALIBRATION_TAG`` bump, see docs/CALIBRATION.md).  The monkeypatch
+tests demonstrate the mechanism the acceptance criteria ask for: a
+changed constant with an unchanged tag is detected.
+"""
+
+from repro.api import (
+    CALIBRATION_FINGERPRINT,
+    CALIBRATION_TAG,
+    model_fingerprint,
+    verify_calibration,
+)
+from repro.experiments.fingerprint import fingerprint_payload
+
+
+def test_fingerprint_matches_pin():
+    ok, current, pinned = verify_calibration()
+    assert ok, (
+        f"model constants changed: fingerprint {current} != pinned {pinned}. "
+        "Bump CALIBRATION_TAG and re-pin CALIBRATION_FINGERPRINT in "
+        "src/repro/experiments/cache.py in the same commit."
+    )
+
+
+def test_fingerprint_is_stable_across_calls():
+    assert model_fingerprint() == model_fingerprint()
+
+
+def test_api_exports_calibration_identity():
+    """Tools read the tag through repro.api, not the private module."""
+    from repro.experiments import cache
+
+    assert CALIBRATION_TAG == cache.CALIBRATION_TAG
+    assert CALIBRATION_FINGERPRINT == cache.CALIBRATION_FINGERPRINT
+
+
+def test_changed_leakage_constant_without_tag_bump_is_detected(monkeypatch):
+    """Editing the ground-truth physics flips the guard (tag unchanged)."""
+    from repro.soc import leakage
+    from repro.soc.leakage import LeakageParameters
+
+    original = leakage.nexus5_leakage_parameters()
+    tweaked = LeakageParameters(
+        k1=original.k1 * 1.01,
+        k2=original.k2,
+        alpha=original.alpha,
+        beta=original.beta,
+        gamma=original.gamma,
+        delta=original.delta,
+    )
+    monkeypatch.setattr(
+        leakage, "nexus5_leakage_parameters", lambda: tweaked
+    )
+    ok, current, pinned = verify_calibration()
+    assert not ok
+    assert current != pinned
+    # The tag did NOT change -- exactly the silent-poisoning scenario
+    # the fingerprint exists to catch.
+    from repro.experiments import cache
+
+    assert cache.CALIBRATION_TAG == CALIBRATION_TAG
+
+
+def test_changed_prediction_floor_is_detected(monkeypatch):
+    from repro.models import performance_model
+
+    monkeypatch.setattr(performance_model, "MIN_PREDICTED_LOAD_TIME_S", 0.06)
+    ok, _, _ = verify_calibration()
+    assert not ok
+
+
+def test_changed_dvfs_table_is_detected(monkeypatch):
+    import dataclasses
+
+    from repro.soc import specs
+
+    spec = specs.nexus5_spec()
+    lowered = dataclasses.replace(
+        spec,
+        dvfs_table=tuple(
+            dataclasses.replace(state, voltage_v=state.voltage_v - 0.01)
+            for state in spec.dvfs_table
+        ),
+    )
+    monkeypatch.setattr(specs, "nexus5_spec", lambda: lowered)
+    ok, _, _ = verify_calibration()
+    assert not ok
+
+
+def test_payload_covers_the_documented_constant_families():
+    payload = fingerprint_payload()
+    assert {
+        "leakage",
+        "kelvin_offset",
+        "table_i",
+        "floors",
+        "platforms",
+        "power_model",
+        "thermal_model",
+        "training_defaults",
+    } <= set(payload)
+    # Both platforms, each carrying its DVFS table and piecewise knots.
+    assert len(payload["platforms"]) == 2
+    for platform in payload["platforms"]:
+        assert platform["dvfs"]
+        assert platform["piecewise_knots"]

@@ -9,7 +9,6 @@ online governor loop.
 import pytest
 
 from repro.experiments.harness import (
-    HarnessConfig,
     frequency_sweep,
     make_governor,
     oracle_points,

@@ -10,8 +10,8 @@ ladder and a three-band bus mapping.
 
 import pytest
 
-from repro.models.training import TrainingConfig, run_campaign, train_models
 from repro.experiments.harness import HarnessConfig, make_governor, run_workload
+from repro.models.training import TrainingConfig, run_campaign, train_models
 from repro.soc.device import DeviceConfig
 from repro.soc.specs import generic_hexcore_spec
 

@@ -1,6 +1,5 @@
 """Table-I feature vector tests."""
 
-import numpy as np
 import pytest
 
 from repro.browser.dom import PageFeatures

@@ -12,8 +12,8 @@ import itertools
 
 import pytest
 
-from repro.core.dora import DoraGovernor
 from repro.browser.pages import page_by_name, page_names
+from repro.core.dora import DoraGovernor
 from repro.serve.service import DecisionRequest, DecisionService, ServiceConfig
 from repro.sim.governor import RunContext
 from repro.soc.counters import CoreCounters, CounterSample

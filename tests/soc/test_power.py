@@ -4,7 +4,6 @@ import pytest
 
 from repro.soc.power import (
     CoreActivity,
-    DevicePowerModel,
     nexus5_power_model,
 )
 from repro.soc.specs import nexus5_spec

@@ -7,7 +7,6 @@ from repro.soc.specs import (
     DvfsState,
     MemorySpec,
     PlatformSpec,
-    nexus5_spec,
 )
 
 

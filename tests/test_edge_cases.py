@@ -6,7 +6,6 @@ randomized models, and oracle-selection invariants.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

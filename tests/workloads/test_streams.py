@@ -1,7 +1,6 @@
 """Address-stream generator tests and analytic-model cross-validation."""
 
 import pytest
-from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.soc.cache import AnalyticSharedCache, CacheDemand
