@@ -1,0 +1,126 @@
+"""Fleet throughput: sharded serving + skip cache vs its two baselines.
+
+Replays one harvested counter-trace stream (with a deterministic
+per-device revisit pattern, so the skip cache sees realistic repeat
+traffic) three ways -- through the sharded
+:class:`~repro.serve.fleet.FleetDecisionService`, through one plain
+:class:`~repro.serve.service.DecisionService`, and through the scalar
+per-request loop -- and records the ``BENCH_fleet.json`` artifact at
+the repo root.
+
+Acceptance bars (ISSUE 5): at >= 4 workers the fleet clears >= 3x the
+single-process batched throughput, every fopt is bit-identical to both
+baselines, and the skip rate is non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import HarnessConfig
+from repro.experiments.suite import all_combos
+from repro.models.training import TrainingConfig, run_campaign, train_models
+from repro.serve.loadgen import LoadgenConfig, run_fleet_bench
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
+
+
+@pytest.fixture(scope="module")
+def bench_predictor():
+    """A small trained predictor, built outside the timed sections."""
+    training = TrainingConfig(
+        pages=("amazon", "espn"),
+        freqs_hz=(729.6e6, 1190.4e6, 1728.0e6, 2265.6e6),
+        dt_s=0.004,
+        seed=7,
+    )
+    return train_models(run_campaign(training)).predictor
+
+
+def test_fleet_throughput(bench_predictor):
+    config = LoadgenConfig(
+        devices=32,
+        requests=4096,
+        target_qps=5000.0,
+        max_batch_size=64,
+        max_wait_s=0.005,
+        revisit_period=16,
+    )
+    result = run_fleet_bench(
+        bench_predictor,
+        config,
+        harness_config=HarnessConfig(dt_s=0.004),
+        combos=all_combos()[:6],
+        workers=4,
+        output_path=BENCH_PATH,
+    )
+    record = json.loads(BENCH_PATH.read_text())
+
+    # Bit-identity across the whole topology: fleet == single-process
+    # batched service == scalar DoraGovernor loop, for every request.
+    assert result.fopt_mismatches_vs_single == 0
+    assert result.fopt_mismatches_vs_scalar == 0
+
+    # The revisit pattern produced real skip-cache traffic: 15 of
+    # every 16 steady-state requests repeat the previous vector.
+    assert result.fleet_report.skips > 0
+    assert record["skip_rate"] > 0.5
+    # The single-process baseline has no skip cache.
+    assert result.single_report.skips == 0
+
+    # Nothing crashed mid-bench.
+    assert record["worker_restarts"] == 0
+
+    # Acceptance bar: >= 3x the single-process batched service at
+    # >= 4 workers (carried by parallel shards on multi-CPU hosts and
+    # by the skip cache on single-CPU hosts -- both are the fleet).
+    assert record["workers"] >= 4
+    assert record["speedup_vs_single"] >= 3.0, (
+        f"expected >= 3x over the single-process service, got "
+        f"{record['speedup_vs_single']:.2f}x "
+        f"({record['throughput_rps']:.0f} vs "
+        f"{record['single_throughput_rps']:.0f} rps)"
+    )
+
+    # The record is a complete, plottable artifact.
+    for key in (
+        "mode",
+        "latency",
+        "throughput_rps",
+        "single_throughput_rps",
+        "scalar_rps",
+        "speedup_vs_single",
+        "speedup_vs_scalar",
+        "skip_rate",
+    ):
+        assert key in record
+    assert record["latency"]["p99_ms"] >= record["latency"]["p50_ms"]
+
+
+def test_skip_cache_disabled_matches_pr2_stream(bench_predictor):
+    """``skip_cache=False`` + 1 shard reproduces the plain service exactly."""
+    from repro.serve.fleet import FleetConfig, FleetDecisionService
+    from repro.serve.loadgen import harvest_traces, request_stream
+    from repro.serve.service import DecisionService
+
+    config = LoadgenConfig(
+        devices=16, requests=512, revisit_period=8, tight_deadline_every=23
+    )
+    traces = harvest_traces(
+        combos=all_combos()[:3], config=HarnessConfig(dt_s=0.004)
+    )
+    requests = request_stream(traces, config)
+    single = DecisionService(
+        bench_predictor, config=config.service_config()
+    ).decide(requests, now=0.0)
+    fleet_config = FleetConfig(
+        workers=1, service=config.service_config(), skip_cache=False
+    )
+    with FleetDecisionService(bench_predictor, fleet_config) as fleet:
+        fleet_responses = fleet.decide(requests, now=0.0)
+    # Full response-stream equality: tickets, fopt, acceptance, queue
+    # delays and traces -- not just the frequencies.
+    assert fleet_responses == single

@@ -8,6 +8,9 @@ Commands:
 * ``serve-bench`` -- benchmark the batched decision service against
   the scalar per-request loop (latency percentiles, throughput,
   speedup, fopt equivalence).
+* ``fleet-bench`` -- benchmark the sharded multi-process fleet service
+  (shard workers + session-aware skip cache) against the
+  single-process batched service and the scalar loop.
 * ``sim-bench`` -- benchmark the regime-stepped simulator fast path
   against the per-step reference loop (per-case timings, campaign
   aggregate, result equivalence).
@@ -281,6 +284,89 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if record["fopt_mismatches"] == 0 else 1
 
 
+def _cmd_fleet_bench(args: argparse.Namespace) -> int:
+    from repro.api import default_predictor
+    from repro.experiments.harness import HarnessConfig
+    from repro.experiments.suite import all_combos
+    from repro.serve.loadgen import LoadgenConfig, run_fleet_bench
+
+    if args.smoke:
+        # Same CI-sized setup as ``serve-bench --smoke``.
+        from repro.models.training import TrainingConfig
+
+        predictor = default_predictor(
+            TrainingConfig(
+                pages=("amazon", "espn"),
+                freqs_hz=(729.6e6, 1190.4e6, 1728.0e6, 2265.6e6),
+                dt_s=0.004,
+                seed=7,
+            )
+        )
+        harness = HarnessConfig(dt_s=0.004)
+        combos = all_combos()[:3]
+    else:
+        predictor = default_predictor()
+        harness = HarnessConfig()
+        combos = all_combos()[: args.trace_combos]
+    config = LoadgenConfig(
+        devices=args.devices,
+        requests=args.requests,
+        target_qps=args.qps,
+        max_batch_size=args.batch_size,
+        max_wait_s=args.max_wait_ms / 1e3,
+        qos_margin=args.qos_margin,
+        revisit_period=args.revisit_period,
+    )
+    result = run_fleet_bench(
+        predictor,
+        config,
+        harness_config=harness,
+        combos=combos,
+        workers=args.workers,
+        skip_cache=not args.no_skip_cache,
+        skip_tolerance=args.skip_tolerance,
+        output_path=args.output,
+    )
+    record = result.to_record()
+    latency = record["latency"]
+    mismatches = (
+        record["fopt_mismatches_vs_single"] + record["fopt_mismatches_vs_scalar"]
+    )
+    print(
+        f"topology    : {record['workers']} shards, {record['mode']} mode, "
+        f"{record['worker_restarts']} restarts"
+    )
+    print(f"requests    : {record['requests']} over {record['devices']} devices")
+    print(
+        f"skip cache  : {record['skips']} hits "
+        f"({record['skip_rate']:.1%}), revisit period "
+        f"{record['revisit_period']}"
+    )
+    print(
+        f"batching    : {record['batches']} passes, "
+        f"mean {record['mean_batch_size']}, largest {record['largest_batch']}, "
+        f"{record['rejected']} rejected"
+    )
+    print(
+        f"latency     : p50 {latency['p50_ms']:.3f} ms, "
+        f"p95 {latency['p95_ms']:.3f} ms, p99 {latency['p99_ms']:.3f} ms"
+    )
+    print(
+        f"throughput  : {record['throughput_rps']:.0f} decisions/s "
+        f"(single {record['single_throughput_rps']:.0f}/s "
+        f"{record['speedup_vs_single']:.1f}x, "
+        f"scalar {record['scalar_rps']:.0f}/s "
+        f"{record['speedup_vs_scalar']:.1f}x)"
+    )
+    print(
+        f"equivalence : {record['fopt_mismatches_vs_single']} fopt mismatches "
+        f"vs single, {record['fopt_mismatches_vs_scalar']} vs scalar"
+    )
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0 if mismatches == 0 else 1
+
+
 def _cmd_sim_bench(args: argparse.Namespace) -> int:
     from repro.sim.bench import run_engine_bench, smoke_slice
 
@@ -462,6 +548,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve_bench)
+
+    fleet_parser = commands.add_parser(
+        "fleet-bench",
+        help="benchmark the sharded fleet service with skip cache",
+    )
+    fleet_parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="shard count (worker processes when the host allows)",
+    )
+    fleet_parser.add_argument("--devices", type=int, default=32)
+    fleet_parser.add_argument("--requests", type=int, default=4096)
+    fleet_parser.add_argument(
+        "--batch-size", type=int, default=64, help="per-shard flush-on-size"
+    )
+    fleet_parser.add_argument(
+        "--max-wait-ms", type=float, default=5.0, help="per-shard flush-on-wait"
+    )
+    fleet_parser.add_argument(
+        "--qps", type=float, default=5000.0, help="virtual arrival rate"
+    )
+    fleet_parser.add_argument(
+        "--qos-margin", type=float, default=0.0, help="deadline safety margin"
+    )
+    fleet_parser.add_argument(
+        "--revisit-period", type=int, default=16,
+        help="requests per device between counter refreshes "
+        "(drives the skip-cache hit rate; 0 disables revisits)",
+    )
+    fleet_parser.add_argument(
+        "--no-skip-cache", action="store_true",
+        help="disable the session-aware skip cache",
+    )
+    fleet_parser.add_argument(
+        "--skip-tolerance", type=float, default=0.0,
+        help="absolute per-feature drift a skip hit may absorb",
+    )
+    fleet_parser.add_argument(
+        "--trace-combos", type=int, default=6,
+        help="suite workloads to harvest counter traces from",
+    )
+    fleet_parser.add_argument(
+        "--output", default=None, metavar="JSON",
+        help="write the bench record (e.g. BENCH_fleet.json)",
+    )
+    fleet_parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized models and harvest (seconds, not minutes)",
+    )
+    fleet_parser.set_defaults(func=_cmd_fleet_bench)
 
     sim_parser = commands.add_parser(
         "sim-bench", help="benchmark the regime-stepped engine fast path"

@@ -12,7 +12,10 @@ package fans them out over a process pool while keeping results
 * :mod:`repro.runtime.pool` -- :func:`run_jobs`: cache-aware
   scheduling, per-job wall-clock timeouts, bounded crash retry with
   backoff, and graceful serial fallback (``REPRO_WORKERS=0``, nested
-  calls, or an unstartable pool).
+  calls, or an unstartable pool).  Also the reusable worker-lifecycle
+  primitives serving topologies build on: :class:`PersistentWorker`
+  (long-lived message-loop processes), :func:`mp_context` and
+  :func:`serial_downgrade_reason`.
 * :mod:`repro.runtime.progress` -- job-level telemetry with periodic
   one-line reports, hooked by the CLI's ``--workers`` flag.
 
@@ -36,12 +39,15 @@ from repro.runtime.jobs import (
 )
 from repro.runtime.pool import (
     JobTimeoutError,
+    PersistentWorker,
     WORKER_ENV,
     WORKERS_ENV,
     configure,
     in_worker,
+    mp_context,
     resolve_workers,
     run_jobs,
+    serial_downgrade_reason,
 )
 from repro.runtime.progress import ProgressSnapshot, ProgressTracker
 
@@ -51,6 +57,7 @@ __all__ = [
     "JobError",
     "JobResult",
     "JobTimeoutError",
+    "PersistentWorker",
     "ProgressSnapshot",
     "ProgressTracker",
     "WORKER_ENV",
@@ -58,8 +65,10 @@ __all__ = [
     "configure",
     "execute",
     "in_worker",
+    "mp_context",
     "register",
     "resolve",
     "resolve_workers",
     "run_jobs",
+    "serial_downgrade_reason",
 ]

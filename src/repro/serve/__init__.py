@@ -18,7 +18,14 @@ The package splits along those lines:
   micro-batching, deadline-aware admission and per-request tracing.
 * :mod:`repro.serve.loadgen` -- a synthetic fleet driver that replays
   counter traces harvested from the simulator and reports decision
-  latency percentiles and throughput (``BENCH_serve.json``).
+  latency percentiles and throughput (``BENCH_serve.json`` /
+  ``BENCH_fleet.json``).
+* :mod:`repro.serve.shard` -- device-hash partitioning and the shard
+  worker protocol (one long-lived :class:`DecisionService` per worker
+  process, built on :class:`repro.runtime.pool.PersistentWorker`).
+* :mod:`repro.serve.fleet` -- the shard router: multi-process serving
+  with a session-aware skip cache
+  (:class:`~repro.serve.fleet.FleetDecisionService`).
 
 Submodules are imported lazily: ``batch_predictor`` sits *below*
 :mod:`repro.models.predictor` in the dependency order (the scalar
@@ -41,8 +48,16 @@ _EXPORTS = {
     "ServiceConfig": "repro.serve.service",
     "DeviceSession": "repro.serve.sessions",
     "SessionRegistry": "repro.serve.sessions",
+    "FleetConfig": "repro.serve.fleet",
+    "FleetDecisionService": "repro.serve.fleet",
+    "FleetStats": "repro.serve.fleet",
+    "SkipCache": "repro.serve.fleet",
+    "ProcessShard": "repro.serve.shard",
+    "SerialShard": "repro.serve.shard",
+    "shard_for": "repro.serve.shard",
     "CounterObservation": "repro.serve.loadgen",
     "DeviceTrace": "repro.serve.loadgen",
+    "FleetBenchResult": "repro.serve.loadgen",
     "FleetLoadGenerator": "repro.serve.loadgen",
     "LatencyStats": "repro.serve.loadgen",
     "LoadgenConfig": "repro.serve.loadgen",
@@ -51,6 +66,7 @@ _EXPORTS = {
     "harvest_traces": "repro.serve.loadgen",
     "request_stream": "repro.serve.loadgen",
     "run_serve_bench": "repro.serve.loadgen",
+    "run_fleet_bench": "repro.serve.loadgen",
     "scalar_decision_baseline": "repro.serve.loadgen",
 }
 

@@ -1,0 +1,500 @@
+"""repro.serve.fleet -- sharded decision serving with a skip cache.
+
+One :class:`~repro.serve.service.DecisionService` saturates a core
+long before it saturates a fleet: the model pass is vectorized, but it
+is one process.  The fleet front-end hash-partitions device sessions
+across N shard workers (:func:`repro.serve.shard.shard_for`), each a
+full service in its own process, and keeps the router thin: admission,
+per-shard micro-batch buffering, ticket bookkeeping, and the skip
+cache.
+
+Sharding by *device* -- not round-robin by request -- is what makes
+the topology correct without coordination: a device's session state
+(page, counters, current frequency, skip anchor) lives on exactly one
+shard, so no state is ever split or merged across processes.
+
+The skip cache is DORA's own amortization, lifted fleet-side.  On the
+phone, Algorithm 1 re-runs every interval but the actuator skips the
+switch when fopt is unchanged; here the *evaluation* is skipped too: a
+request whose feature/condition vector matches the device's previous
+one (page and deadline exactly; MPKI, utilization and temperature
+within ``skip_tolerance``) short-circuits to the cached response.
+That is sound because the decision is a pure function of the request
+vector -- equal inputs give bit-equal fopt, and a tolerance of zero
+makes the cache lossless while still absorbing exact revisit traffic.
+
+Bit-identity contract
+---------------------
+Every response's ``fopt_hz`` is bit-identical to the single-process
+:class:`DecisionService` (and therefore to the scalar
+``DoraGovernor``) for the same request, regardless of shard count,
+execution mode (process/serial), or whether it was answered by a shard
+pass or a skip-cache hit.  With ``skip_cache=False`` and one shard the
+full response stream -- tickets, batch boundaries, queue delays -- is
+exactly the single service's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.models.performance_model import MIN_PREDICTED_LOAD_TIME_S
+from repro.runtime.pool import (
+    DEFAULT_BACKOFF_S,
+    DEFAULT_MAX_ATTEMPTS,
+    in_worker,
+    serial_downgrade_reason,
+)
+from repro.serve.batch_predictor import BatchDoraPredictor
+from repro.serve.service import (
+    DecisionRequest,
+    DecisionResponse,
+    DecisionTrace,
+    ServiceConfig,
+    ServiceStats,
+)
+from repro.serve.sessions import DeviceSession, SessionRegistry
+from repro.serve.shard import make_shards, shard_for
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tunables of the sharded serving topology.
+
+    Attributes:
+        workers: Shard count.  Each shard gets its own worker process
+            when the runtime allows one
+            (:func:`repro.runtime.pool.serial_downgrade_reason`);
+            otherwise the same shards run in-process, preserving the
+            partitioning and batch boundaries exactly.
+        service: Per-shard :class:`ServiceConfig` (batching window,
+            leakage ablation, QoS margin, session TTL).
+        skip_cache: Enable the session-aware short circuit.  ``False``
+            makes the fleet a pure sharded fan-out of the PR-2 service.
+        skip_tolerance: Maximum absolute drift in each of co-runner
+            MPKI, utilization and temperature for a request to replay
+            the session's cached response.  ``0.0`` (default) requires
+            exact equality and is lossless; larger values trade
+            decision freshness for evaluation work.
+        max_attempts: Submission attempts per dispatched batch across
+            worker crashes (the runtime pool's retry discipline).
+        backoff_s: Base sleep before a worker respawn (doubles per
+            consecutive crash).
+    """
+
+    workers: int = 4
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    skip_cache: bool = True
+    skip_tolerance: float = 0.0
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    backoff_s: float = DEFAULT_BACKOFF_S
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("fleet needs at least one worker")
+        if self.skip_tolerance < 0:
+            raise ValueError("skip tolerance must be non-negative")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+
+@dataclass
+class FleetStats:
+    """Router-side counters, duck-compatible with :class:`ServiceStats`.
+
+    ``requests_total``/``rejected_total``/``skips_total`` are counted
+    live at the router; the batch-shaped fields (``batches_total``,
+    ``accepted_total``, ``largest_batch``) are merged up from the
+    shard services by :meth:`FleetDecisionService.merged_stats`.
+    """
+
+    requests_total: int = 0
+    rejected_total: int = 0
+    skips_total: int = 0
+    dispatched_total: int = 0
+    flushes_on_size: int = 0
+    flushes_on_wait: int = 0
+    batches_total: int = 0
+    accepted_total: int = 0
+    largest_batch: int = 0
+
+    def skip_rate(self) -> float:
+        """Fraction of all requests answered from the skip cache."""
+        if self.requests_total == 0:
+            return 0.0
+        return self.skips_total / self.requests_total
+
+    def mean_batch_size(self) -> float:
+        """Mean evaluated requests per model pass, across all shards."""
+        if self.batches_total == 0:
+            return 0.0
+        return self.accepted_total / self.batches_total
+
+
+class SkipCache:
+    """Session-aware unchanged-vector short circuit.
+
+    A hit requires the device's cached anchor to match the incoming
+    request on page census (exact), deadline (exact -- admission and
+    the effective deadline depend on it), and each of the three
+    condition scalars within ``tolerance``.  The replayed response
+    carries the anchor's fopt and trace (marked ``skipped=True``) under
+    the new request's ticket.
+    """
+
+    def __init__(self, registry: SessionRegistry, tolerance: float) -> None:
+        self.registry = registry
+        self.tolerance = tolerance
+
+    def _matches(
+        self, session: DeviceSession, request: DecisionRequest
+    ) -> bool:
+        anchor = session.last_response
+        if anchor is None or session.page is None:
+            return False
+        if session.deadline_s != request.deadline_s:
+            return False
+        page = session.page  # identity first: replays reuse census objects
+        if page is not request.page and page != request.page:
+            return False
+        tol = self.tolerance
+        return (
+            abs(session.corunner_mpki - request.corunner_mpki) <= tol
+            and abs(session.corunner_utilization - request.corunner_utilization)
+            <= tol
+            and abs(session.temperature_c - request.temperature_c) <= tol
+        )
+
+    def lookup(
+        self, ticket: int, request: DecisionRequest, now: float
+    ) -> DecisionResponse | None:
+        """The replayed response for an unchanged request, else ``None``."""
+        session = self.registry.get(request.device_id)
+        if session is None or not self._matches(session, request):
+            return None
+        self.registry.refresh(session, now)
+        session.skips += 1
+        anchor: DecisionResponse = session.last_response  # type: ignore[assignment]
+        # Direct construction, not dataclasses.replace: this runs once
+        # per hit and replace's field introspection dominates it.
+        return DecisionResponse(
+            request_id=ticket,
+            device_id=anchor.device_id,
+            fopt_hz=anchor.fopt_hz,
+            accepted=True,
+            queue_delay_s=0.0,
+            trace=anchor.trace,
+        )
+
+    def store(
+        self, request: DecisionRequest, response: DecisionResponse, now: float
+    ) -> None:
+        """Anchor an evaluated response for the device's next requests."""
+        if not response.accepted or response.trace is None:
+            return
+        session = self.registry.get(request.device_id)
+        if (
+            session is not None
+            and isinstance(session.last_response, DecisionResponse)
+            and session.last_response.request_id > response.request_id
+        ):
+            return  # a newer anchor already landed
+        trace = response.trace
+        anchor = replace(
+            response,
+            trace=DecisionTrace(
+                candidate_index=trace.candidate_index,
+                load_time_s=trace.load_time_s,
+                power_w=trace.power_w,
+                ppw=trace.ppw,
+                effective_deadline_s=trace.effective_deadline_s,
+                feasible=trace.feasible,
+                batch_size=trace.batch_size,
+                skipped=True,
+            ),
+        )
+        self.registry.record_decision(
+            device_id=request.device_id,
+            page=request.page,
+            corunner_mpki=request.corunner_mpki,
+            corunner_utilization=request.corunner_utilization,
+            temperature_c=request.temperature_c,
+            freq_hz=response.fopt_hz,
+            now=now,
+            deadline_s=request.deadline_s,
+            response=anchor,
+        )
+
+
+@dataclass
+class _Buffered:
+    """One admitted request waiting in a shard's router-side buffer."""
+
+    ticket: int
+    request: DecisionRequest
+    enqueued_s: float
+
+
+class FleetDecisionService:
+    """Shard router: the fleet-scale face of :class:`DecisionService`.
+
+    Mirrors the single service's cooperative surface -- ``submit`` /
+    ``poll`` / ``pending`` / ``flush`` / ``decide`` -- so the load
+    generator and callers are interchangeable between the two.  The
+    difference is that ``submit`` may return responses for *earlier*
+    tickets (whatever the shards finished since the last call);
+    ``decide`` still returns the whole batch in ticket order.
+
+    Args:
+        predictor: Trained bundle; each shard builds its own vectorized
+            kernel from it.
+        config: Fleet topology and skip-cache tunables.
+        clock: Monotonic-seconds source (tests inject virtual clocks).
+    """
+
+    def __init__(
+        self,
+        predictor,
+        config: FleetConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or FleetConfig()
+        self.clock = clock
+        self.stats = FleetStats()
+        service_config = self.config.service
+        reason = serial_downgrade_reason(self.config.workers)
+        if reason is None and in_worker():
+            reason = "nested inside a pool worker"
+        self.mode = "process" if reason is None else f"serial ({reason})"
+        # Partitioning pays only when shards are real processes; in
+        # serial mode everything routes to one backing service, so
+        # misses batch together instead of splintering into per-shard
+        # micro-passes (decisions are batch-invariant, so the batch
+        # boundaries may differ between modes without changing bits).
+        self._shard_count = self.config.workers if reason is None else 1
+        self.shards = make_shards(
+            predictor,
+            service_config,
+            shards=self._shard_count,
+            process_based=reason is None,
+            max_attempts=self.config.max_attempts,
+            backoff_s=self.config.backoff_s,
+        )
+        # Router-side registry: session anchors for the skip cache and
+        # the authoritative TTL bookkeeping over the whole device set.
+        self.registry = SessionRegistry(
+            ttl_s=service_config.session_ttl_s, clock=clock
+        )
+        self.skip_cache = (
+            SkipCache(self.registry, self.config.skip_tolerance)
+            if self.config.skip_cache
+            else None
+        )
+        kernel = getattr(predictor, "batch_kernel", None)
+        router_kernel: BatchDoraPredictor = (
+            kernel() if callable(kernel) else BatchDoraPredictor.from_bundle(predictor)
+        )
+        order = router_kernel.selection_order
+        self._fmax_hz = float(router_kernel.freqs_hz[order[-1]])
+        self._buffers: list[list[_Buffered]] = [
+            [] for _ in range(self._shard_count)
+        ]
+        #: ticket -> originating request, alive while a shard holds it.
+        self._inflight: dict[int, DecisionRequest] = {}
+        #: ticket -> router-clock enqueue time, for queue-delay accounting.
+        self._enqueued: dict[int, float] = {}
+        self._next_ticket = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Admission (identical to DecisionService)
+    # ------------------------------------------------------------------
+    def effective_deadline_s(self, request: DecisionRequest) -> float:
+        """The deadline Algorithm 1 actually compares against."""
+        return request.deadline_s * (1.0 - self.config.service.qos_margin)
+
+    def admits(self, request: DecisionRequest) -> bool:
+        """Same load-time-floor admission rule as the single service."""
+        return self.effective_deadline_s(request) >= MIN_PREDICTED_LOAD_TIME_S
+
+    # ------------------------------------------------------------------
+    # Cooperative serving surface
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: DecisionRequest, now: float | None = None
+    ) -> list[DecisionResponse]:
+        """Route one request; returns whatever responses became ready.
+
+        Ready responses are: an immediate rejection, a skip-cache
+        replay, and any shard results that arrived since the last call
+        (including batches this submission just filled).
+        """
+        now = self.clock() if now is None else now
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self.stats.requests_total += 1
+        if not self.admits(request):
+            self.stats.rejected_total += 1
+            self.registry.record_rejection(request.device_id, now)
+            return [
+                DecisionResponse(
+                    request_id=ticket,
+                    device_id=request.device_id,
+                    fopt_hz=self._fmax_hz,
+                    accepted=False,
+                )
+            ] + self._collect(now)
+        if self.skip_cache is not None:
+            hit = self.skip_cache.lookup(ticket, request, now)
+            if hit is not None:
+                self.stats.skips_total += 1
+                return [hit] + self._collect(now)
+        shard_index = shard_for(request.device_id, self._shard_count)
+        buffer = self._buffers[shard_index]
+        buffer.append(_Buffered(ticket, request, now))
+        if len(buffer) >= self.config.service.max_batch_size:
+            self.stats.flushes_on_size += 1
+            self._dispatch(shard_index, now)
+        return self._collect(now)
+
+    def poll(self, now: float | None = None) -> list[DecisionResponse]:
+        """Flush wait-expired shard buffers and harvest shard results."""
+        now = self.clock() if now is None else now
+        for shard_index, buffer in enumerate(self._buffers):
+            if (
+                buffer
+                and now - buffer[0].enqueued_s >= self.config.service.max_wait_s
+            ):
+                self.stats.flushes_on_wait += 1
+                self._dispatch(shard_index, now)
+        return self._collect(now)
+
+    def pending(self) -> int:
+        """Requests buffered at the router or in flight to a shard."""
+        return sum(len(buffer) for buffer in self._buffers) + len(self._inflight)
+
+    def flush(self, now: float | None = None) -> list[DecisionResponse]:
+        """Dispatch every buffer and drain every shard to completion."""
+        now = self.clock() if now is None else now
+        for shard_index in range(self._shard_count):
+            self._dispatch(shard_index, now)
+        responses: list[DecisionResponse] = []
+        for shard in self.shards:
+            for tickets, answers in shard.drain():
+                responses.extend(self._absorb(tickets, answers, now))
+        self.registry.evict_expired(now)
+        return responses
+
+    def decide(
+        self, requests: list[DecisionRequest], now: float | None = None
+    ) -> list[DecisionResponse]:
+        """Answer a whole batch synchronously, in ticket order."""
+        now = self.clock() if now is None else now
+        responses: list[DecisionResponse] = []
+        for request in requests:
+            responses.extend(self.submit(request, now))
+        responses.extend(self.flush(now))
+        responses.sort(key=lambda response: response.request_id)
+        return responses
+
+    # ------------------------------------------------------------------
+    # Telemetry and lifecycle
+    # ------------------------------------------------------------------
+    def merged_stats(self) -> FleetStats:
+        """Router counters with the shard services' batch counters
+        merged in (requires no in-flight work; call after ``flush``)."""
+        merged = FleetStats(**vars(self.stats))
+        merged.batches_total = 0
+        merged.accepted_total = 0
+        merged.largest_batch = 0
+        for shard in self.shards:
+            stats, _sessions = shard.stats()
+            merged.batches_total += stats.batches_total
+            merged.accepted_total += stats.accepted_total
+            merged.largest_batch = max(merged.largest_batch, stats.largest_batch)
+        return merged
+
+    def shard_service_stats(self) -> list[tuple[ServiceStats, int]]:
+        """Per-shard ``(service_stats, active_sessions)`` pairs."""
+        return [shard.stats() for shard in self.shards]
+
+    def worker_restarts(self) -> int:
+        """Total shard-worker respawns after crashes."""
+        return sum(shard.restarts for shard in self.shards)
+
+    def close(self) -> None:
+        """Stop every shard worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "FleetDecisionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Shard plumbing
+    # ------------------------------------------------------------------
+    def _dispatch(self, shard_index: int, now: float) -> None:
+        buffer = self._buffers[shard_index]
+        if not buffer:
+            return
+        self._buffers[shard_index] = []
+        tickets = [entry.ticket for entry in buffer]
+        requests = [entry.request for entry in buffer]
+        for entry in buffer:
+            self._inflight[entry.ticket] = entry.request
+        self.stats.dispatched_total += len(buffer)
+        for entry in buffer:
+            self._enqueued[entry.ticket] = entry.enqueued_s
+        self.shards[shard_index].dispatch(tickets, requests, now)
+
+    def _collect(self, now: float) -> list[DecisionResponse]:
+        if not self._inflight:
+            return []
+        responses: list[DecisionResponse] = []
+        for shard in self.shards:
+            for tickets, answers in shard.collect():
+                responses.extend(self._absorb(tickets, answers, now))
+        return responses
+
+    def _absorb(
+        self,
+        tickets: list[int],
+        answers: list[DecisionResponse],
+        now: float,
+    ) -> list[DecisionResponse]:
+        """Re-ticket a shard's positional answers and update sessions."""
+        responses: list[DecisionResponse] = []
+        for ticket, answer in zip(tickets, answers):
+            request = self._inflight.pop(ticket)
+            enqueued_s = self._enqueued.pop(ticket, now)
+            response = DecisionResponse(
+                request_id=ticket,
+                device_id=answer.device_id,
+                fopt_hz=answer.fopt_hz,
+                accepted=answer.accepted,
+                queue_delay_s=max(0.0, now - enqueued_s),
+                trace=answer.trace,
+            )
+            if self.skip_cache is not None:
+                self.skip_cache.store(request, response, now)
+            else:
+                self.registry.record_decision(
+                    device_id=request.device_id,
+                    page=request.page,
+                    corunner_mpki=request.corunner_mpki,
+                    corunner_utilization=request.corunner_utilization,
+                    temperature_c=request.temperature_c,
+                    freq_hz=response.fopt_hz,
+                    now=now,
+                    deadline_s=request.deadline_s,
+                )
+            responses.append(response)
+        return responses

@@ -181,6 +181,14 @@ class LoadgenConfig:
         qos_margin: Service QoS margin.
         tight_deadline_every: Every Nth request gets an impossibly
             tight deadline to exercise admission (0 disables).
+        revisit_period: Deterministic per-device revisit pattern: each
+            device advances to a fresh counter observation only every
+            ``revisit_period``-th of its requests, re-submitting an
+            identical feature/condition vector in between (what a
+            device polling faster than its counters refresh looks
+            like).  ``p`` makes ``(p - 1) / p`` of steady-state
+            requests skip-cache-eligible; ``0``/``1`` disables (every
+            request advances, the PR-2 stream).
     """
 
     devices: int = 32
@@ -191,6 +199,7 @@ class LoadgenConfig:
     include_leakage: bool = True
     qos_margin: float = 0.0
     tight_deadline_every: int = 0
+    revisit_period: int = 0
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -199,6 +208,8 @@ class LoadgenConfig:
             raise ValueError("need at least one request")
         if self.target_qps <= 0:
             raise ValueError("target QPS must be positive")
+        if self.revisit_period < 0:
+            raise ValueError("revisit period must be non-negative")
 
     def service_config(self) -> ServiceConfig:
         """The service tunables this replay drives."""
@@ -221,7 +232,9 @@ def request_stream(
     """The deterministic request sequence a replay submits.
 
     Device ``d`` replays trace ``d % len(traces)``; its ``k``-th
-    request carries that trace's ``k``-th observation (cycling).
+    request carries that trace's ``k``-th observation (cycling) -- or,
+    with ``revisit_period = p``, observation ``k // p``, so each
+    observation is re-submitted ``p`` times before the device moves on.
     """
     if not traces:
         raise ValueError("need at least one device trace")
@@ -229,7 +242,10 @@ def request_stream(
     for index in range(config.requests):
         device = index % config.devices
         trace = traces[device % len(traces)]
-        observation = trace.observation(index // config.devices)
+        step = index // config.devices
+        if config.revisit_period > 1:
+            step //= config.revisit_period
+        observation = trace.observation(step)
         deadline_s = trace.deadline_s
         if (
             config.tight_deadline_every > 0
@@ -299,6 +315,8 @@ class LoadgenReport:
         mean_batch_size: Accepted requests per model pass.
         largest_batch: Biggest single model pass.
         rejected: Requests admission answered with the fmax fallback.
+        skips: Requests answered from a skip cache (0 on a plain
+            single-process service).
     """
 
     config: LoadgenConfig
@@ -310,6 +328,13 @@ class LoadgenReport:
     mean_batch_size: float
     largest_batch: int
     rejected: int
+    skips: int = 0
+
+    def skip_rate(self) -> float:
+        """Fraction of responses replayed from the skip cache."""
+        if not self.responses:
+            return 0.0
+        return self.skips / len(self.responses)
 
     def fopts_hz(self) -> list[float]:
         """Served fopt per request, in submission order."""
@@ -317,19 +342,35 @@ class LoadgenReport:
 
 
 class FleetLoadGenerator:
-    """Replays a request stream through a :class:`DecisionService`.
+    """Replays a request stream through a decision service.
 
     Arrivals are spaced ``1 / target_qps`` apart on a virtual clock
     that also drives the service's batching (and session TTLs), so a
     replay's batch boundaries are fully deterministic.  Latency is
     measured per request on the wall clock: the span from its
     ``submit`` call to the flush that produced its response.
+
+    Args:
+        predictor: Trained bundle (ignored when ``service`` is given).
+        config: Replay parameters.
+        service: Pre-built service to drive instead of a fresh
+            single-process :class:`DecisionService` -- anything with
+            the cooperative ``submit`` / ``poll`` / ``flush`` surface,
+            in particular a
+            :class:`repro.serve.fleet.FleetDecisionService`.  The
+            replay passes an explicit virtual ``now`` to every call,
+            so the injected service's own clock is never consulted.
     """
 
-    def __init__(self, predictor, config: LoadgenConfig | None = None) -> None:
+    def __init__(
+        self,
+        predictor,
+        config: LoadgenConfig | None = None,
+        service=None,
+    ) -> None:
         self.config = config or LoadgenConfig()
         self._virtual_now = 0.0
-        self.service = DecisionService(
+        self.service = service or DecisionService(
             predictor,
             config=self.config.service_config(),
             clock=lambda: self._virtual_now,
@@ -363,7 +404,8 @@ class FleetLoadGenerator:
         wall_s = time.perf_counter() - wall_start
 
         responses.sort(key=lambda response: response.request_id)
-        stats = self.service.stats
+        merged = getattr(self.service, "merged_stats", None)
+        stats = merged() if callable(merged) else self.service.stats
         return LoadgenReport(
             config=self.config,
             responses=tuple(responses),
@@ -374,6 +416,7 @@ class FleetLoadGenerator:
             mean_batch_size=stats.mean_batch_size(),
             largest_batch=stats.largest_batch,
             rejected=stats.rejected_total,
+            skips=getattr(stats, "skips_total", 0),
         )
 
 
@@ -500,6 +543,194 @@ def run_serve_bench(
         scalar_rps=scalar_rps,
         speedup=speedup,
         fopt_mismatches=mismatches,
+    )
+    if output_path is not None:
+        Path(output_path).write_text(
+            json.dumps(result.to_record(), indent=2) + "\n"
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class FleetBenchResult:
+    """A sharded-fleet replay against its single-process and scalar twins.
+
+    Attributes:
+        fleet_report: The sharded replay's measurements (including the
+            skip count).
+        single_report: The same stream through one plain
+            :class:`DecisionService`.
+        workers: Shard count of the fleet replay.
+        mode: Execution vehicle the runtime chose (``process`` or
+            ``serial (<reason>)``).
+        worker_restarts: Shard-worker respawns during the replay
+            (should be zero in a bench).
+        scalar_s: Wall time of the per-request scalar loop.
+        scalar_rps: Scalar decisions per second.
+        speedup_vs_single: Fleet throughput over single-process
+            batched throughput (the ISSUE's >= 3x bar at >= 4 workers).
+        speedup_vs_scalar: Fleet throughput over the scalar loop.
+        fopt_mismatches_vs_single: Requests where fleet and
+            single-process fopt disagree (must be zero).
+        fopt_mismatches_vs_scalar: Requests where fleet and scalar
+            fopt disagree (must be zero).
+    """
+
+    fleet_report: LoadgenReport
+    single_report: LoadgenReport
+    workers: int
+    mode: str
+    worker_restarts: int
+    scalar_s: float
+    scalar_rps: float
+    speedup_vs_single: float
+    speedup_vs_scalar: float
+    fopt_mismatches_vs_single: int
+    fopt_mismatches_vs_scalar: int
+
+    def to_record(self) -> dict:
+        """The ``BENCH_fleet.json`` payload."""
+        fleet = self.fleet_report
+        config = fleet.config
+        return {
+            "workers": self.workers,
+            "mode": self.mode,
+            "worker_restarts": self.worker_restarts,
+            "devices": config.devices,
+            "requests": config.requests,
+            "target_qps": config.target_qps,
+            "max_batch_size": config.max_batch_size,
+            "max_wait_ms": round(config.max_wait_s * 1e3, 3),
+            "revisit_period": config.revisit_period,
+            "include_leakage": config.include_leakage,
+            "qos_margin": config.qos_margin,
+            "skips": fleet.skips,
+            "skip_rate": round(fleet.skip_rate(), 4),
+            "rejected": fleet.rejected,
+            "batches": fleet.batches,
+            "mean_batch_size": round(fleet.mean_batch_size, 2),
+            "largest_batch": fleet.largest_batch,
+            "latency": fleet.latency.to_record(),
+            "wall_s": round(fleet.wall_s, 4),
+            "throughput_rps": round(fleet.throughput_rps, 1),
+            "single_wall_s": round(self.single_report.wall_s, 4),
+            "single_throughput_rps": round(self.single_report.throughput_rps, 1),
+            "scalar_s": round(self.scalar_s, 4),
+            "scalar_rps": round(self.scalar_rps, 1),
+            "speedup_vs_single": round(self.speedup_vs_single, 2),
+            "speedup_vs_scalar": round(self.speedup_vs_scalar, 2),
+            "fopt_mismatches_vs_single": self.fopt_mismatches_vs_single,
+            "fopt_mismatches_vs_scalar": self.fopt_mismatches_vs_scalar,
+        }
+
+
+def run_fleet_bench(
+    predictor,
+    config: LoadgenConfig | None = None,
+    harness_config: HarnessConfig | None = None,
+    combos: Sequence[WorkloadCombo] | None = None,
+    workers: int = 4,
+    skip_cache: bool = True,
+    skip_tolerance: float = 0.0,
+    output_path: str | Path | None = None,
+) -> FleetBenchResult:
+    """Replay one stream three ways -- fleet, single-process, scalar.
+
+    The same harvested request stream (by default with a revisit
+    pattern so the skip cache has real traffic to absorb) is replayed
+    through a sharded :class:`~repro.serve.fleet.FleetDecisionService`,
+    through one plain :class:`DecisionService`, and through the scalar
+    per-request loop; fopt is cross-checked bit-for-bit between all
+    three and the throughput ratios recorded.
+
+    Args:
+        predictor: Trained bundle to serve.
+        config: Replay parameters (default: the serve-bench defaults
+            with ``requests=4096`` and ``revisit_period=16`` -- a
+            device polling at UI cadence against counter windows that
+            refresh an order of magnitude slower re-submits each
+            vector roughly that many times).
+        harness_config: Simulator config for trace harvesting.
+        combos: Workloads to harvest (default: first six suite combos).
+        workers: Fleet shard count.
+        skip_cache: Enable the session-aware short circuit.
+        skip_tolerance: Skip-cache drift tolerance.
+        output_path: Where to write ``BENCH_fleet.json`` (``None``
+            skips).
+    """
+    from repro.serve.fleet import FleetConfig, FleetDecisionService
+
+    config = config or LoadgenConfig(requests=4096, revisit_period=16)
+    harness_config = harness_config or HarnessConfig()
+    traces = harvest_traces(combos=combos, config=harness_config)
+    requests = request_stream(traces, config)
+
+    # Warm both code paths (kernel construction, NumPy dispatch) on a
+    # short prefix so neither timed replay pays first-call costs.
+    warm = min(len(requests), 2 * config.max_batch_size)
+    DecisionService(predictor, config=config.service_config()).decide(
+        requests[:warm], now=0.0
+    )
+
+    single_report = FleetLoadGenerator(predictor, config).run(traces)
+
+    fleet_config = FleetConfig(
+        workers=workers,
+        service=config.service_config(),
+        skip_cache=skip_cache,
+        skip_tolerance=skip_tolerance,
+    )
+    # A throwaway fleet absorbs worker-spawn and first-pass costs; the
+    # timed replay then runs on a fresh instance with clean counters
+    # and an empty skip cache.
+    with FleetDecisionService(predictor, fleet_config) as warm_fleet:
+        warm_fleet.decide(requests[:warm], now=0.0)
+    with FleetDecisionService(predictor, fleet_config) as fleet:
+        generator = FleetLoadGenerator(predictor, config, service=fleet)
+        fleet_report = generator.run(traces)
+        mode = fleet.mode
+        restarts = fleet.worker_restarts()
+
+    scalar_fopts, scalar_s = scalar_decision_baseline(
+        predictor,
+        requests,
+        include_leakage=config.include_leakage,
+        qos_margin=config.qos_margin,
+    )
+    scalar_rps = len(requests) / scalar_s if scalar_s > 0 else float("inf")
+
+    mismatches_single = sum(
+        1
+        for fleet_hz, single_hz in zip(
+            fleet_report.fopts_hz(), single_report.fopts_hz()
+        )
+        if fleet_hz != single_hz
+    )
+    mismatches_scalar = sum(
+        1
+        for fleet_hz, scalar_hz in zip(fleet_report.fopts_hz(), scalar_fopts)
+        if fleet_hz != scalar_hz
+    )
+    result = FleetBenchResult(
+        fleet_report=fleet_report,
+        single_report=single_report,
+        workers=workers,
+        mode=mode,
+        worker_restarts=restarts,
+        scalar_s=scalar_s,
+        scalar_rps=scalar_rps,
+        speedup_vs_single=(
+            fleet_report.throughput_rps / single_report.throughput_rps
+            if single_report.throughput_rps > 0
+            else float("inf")
+        ),
+        speedup_vs_scalar=(
+            fleet_report.throughput_rps / scalar_rps
+            if scalar_rps > 0
+            else float("inf")
+        ),
+        fopt_mismatches_vs_single=mismatches_single,
+        fopt_mismatches_vs_scalar=mismatches_scalar,
     )
     if output_path is not None:
         Path(output_path).write_text(

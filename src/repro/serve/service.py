@@ -81,6 +81,10 @@ class DecisionTrace:
         feasible: Whether the winner met the effective deadline
             (``False`` means the infeasible fmax fallback fired).
         batch_size: Requests evaluated in the same model pass.
+        skipped: ``True`` when the response was replayed from a
+            session-aware skip cache instead of entering a batch (the
+            fleet front-end's unchanged-fopt short circuit); the row
+            values are those of the anchor evaluation.
     """
 
     candidate_index: int
@@ -90,6 +94,7 @@ class DecisionTrace:
     effective_deadline_s: float
     feasible: bool
     batch_size: int
+    skipped: bool = False
 
 
 @dataclass(frozen=True)
@@ -366,6 +371,7 @@ class DecisionService:
                 temperature_c=entry.request.temperature_c,
                 freq_hz=fopt_hz,
                 now=now,
+                deadline_s=entry.request.deadline_s,
             )
             responses.append(
                 DecisionResponse(

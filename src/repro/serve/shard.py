@@ -1,0 +1,336 @@
+"""Shard workers: one long-lived decision service per device partition.
+
+The fleet front-end (:mod:`repro.serve.fleet`) hash-partitions device
+sessions across N shards.  Each shard is a full
+:class:`~repro.serve.service.DecisionService` -- its own vectorized
+:class:`~repro.serve.batch_predictor.BatchDoraPredictor`, its own
+session registry -- running either in a worker process
+(:class:`ProcessShard`, built on
+:class:`repro.runtime.pool.PersistentWorker`) or in the router's own
+process (:class:`SerialShard`, the fallback the runtime's downgrade
+rules select on single-CPU hosts, for ``workers <= 1``, or nested
+inside a pool worker).
+
+Both speak the same three-call protocol to the router:
+
+* ``dispatch(tickets, requests, now)`` -- hand a sub-batch over (never
+  blocks on the model pass in process mode);
+* ``collect()`` / ``drain()`` -- harvest finished
+  ``(tickets, responses)`` pairs, opportunistically or exhaustively;
+* ``stats()`` -- the shard service's counters (requires a drained
+  shard).
+
+Determinism: a request's answer is a pure function of its own feature
+vector (the batch-invariance contract of
+:func:`repro.core.ppw.select_fopt_rows`), so re-dispatching a batch to
+a respawned worker after a crash returns the same bits -- retry is
+idempotent by construction, which is why the router can reuse the
+runtime pool's bounded-retry discipline wholesale.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import TYPE_CHECKING, Sequence
+
+from repro.runtime.jobs import JobError
+from repro.runtime.pool import (
+    DEFAULT_BACKOFF_S,
+    DEFAULT_MAX_ATTEMPTS,
+    PersistentWorker,
+)
+from repro.serve.service import (
+    DecisionRequest,
+    DecisionResponse,
+    DecisionService,
+    ServiceConfig,
+    ServiceStats,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.models.predictor import DoraPredictor
+
+#: Upper bound on un-collected batches per worker: dispatching past it
+#: blocks on a collect first, so the reply pipe can never fill while
+#: the router keeps writing the request pipe (a classic two-pipe
+#: deadlock).
+MAX_INFLIGHT_BATCHES = 8
+
+#: Seconds a drain will wait on a live worker before declaring it hung.
+DRAIN_TIMEOUT_S = 60.0
+
+
+def shard_for(device_id: str, shards: int) -> int:
+    """The stable shard index owning a device's session.
+
+    CRC-32 of the UTF-8 device id, not Python's built-in ``hash``:
+    the built-in is salted per process, and the partition must be
+    identical across router restarts and between the router and any
+    tooling that wants to predict placement.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    if shards == 1:
+        return 0
+    return zlib.crc32(device_id.encode("utf-8")) % shards
+
+
+def shard_service_loop(conn, predictor, config: ServiceConfig) -> None:
+    """Worker-process entry: serve decide/stats messages until stopped.
+
+    Messages are tuples; the first element selects the verb:
+
+    * ``("decide", seq, now, requests)`` -> ``("ok", seq, responses)``
+      with responses in submission order (positionally aligned with
+      ``requests``), or ``("error", seq, message)`` if evaluation
+      raised.
+    * ``("stats", seq)`` -> ``("stats", seq, service_stats,
+      active_sessions)``.
+    * ``("stop",)`` -> exit the loop (no reply).
+
+    ``now`` is the router's virtual service clock, threaded through
+    every ``decide`` so queue-delay accounting and session TTLs in the
+    worker are deterministic functions of the request stream -- the
+    worker never reads a clock of its own.
+    """
+    service = DecisionService(predictor, config=config)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # router went away
+            break
+        verb = message[0]
+        if verb == "decide":
+            _, seq, now, requests = message
+            try:
+                conn.send(("ok", seq, service.decide(list(requests), now)))
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
+        elif verb == "stats":
+            conn.send(("stats", message[1], service.stats, len(service.registry)))
+        elif verb == "stop":
+            break
+        else:  # protocol bug: make it visible instead of hanging
+            conn.send(("error", None, f"unknown verb {verb!r}"))
+
+
+class SerialShard:
+    """In-process shard: the behavioural reference for the worker kind.
+
+    Used when the runtime downgrades to serial execution; ``dispatch``
+    evaluates immediately and ``collect`` hands the buffered results
+    back, so the router code path is identical either way.
+    """
+
+    def __init__(
+        self, index: int, predictor: "DoraPredictor", config: ServiceConfig
+    ) -> None:
+        self.index = index
+        self.service = DecisionService(predictor, config=config)
+        self.restarts = 0
+        self._ready: list[tuple[list[int], list[DecisionResponse]]] = []
+
+    def dispatch(
+        self,
+        tickets: list[int],
+        requests: list[DecisionRequest],
+        now: float,
+    ) -> None:
+        """Evaluate a sub-batch immediately (serial has no pipeline)."""
+        self._ready.append((tickets, self.service.decide(requests, now)))
+
+    def inflight(self) -> int:
+        """Batches dispatched but not yet collected."""
+        return len(self._ready)
+
+    def collect(self) -> list[tuple[list[int], list[DecisionResponse]]]:
+        """All finished batches since the last collect."""
+        ready = self._ready
+        self._ready = []
+        return ready
+
+    def drain(self) -> list[tuple[list[int], list[DecisionResponse]]]:
+        """Serial shards are always fully drained by a collect."""
+        return self.collect()
+
+    def stats(self) -> tuple[ServiceStats, int]:
+        """The shard service's counters and live-session count."""
+        return self.service.stats, len(self.service.registry)
+
+    def close(self) -> None:
+        """Nothing to tear down in-process."""
+
+
+class ProcessShard:
+    """Router-side handle of one shard worker process.
+
+    Owns the in-flight bookkeeping the retry discipline needs: every
+    dispatched batch is remembered until its reply arrives, so a
+    crashed worker can be respawned (bounded by ``max_attempts``
+    submission attempts per batch, with the pool's exponential
+    backoff) and the lost batches re-sent in order.  Because decisions
+    are deterministic per request, the retried answers are bit-equal
+    to what the dead worker would have produced.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        predictor: "DoraPredictor",
+        config: ServiceConfig,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_s: float = DEFAULT_BACKOFF_S,
+    ) -> None:
+        self.index = index
+        self.max_attempts = max(1, max_attempts)
+        self.backoff_s = backoff_s
+        self.restarts = 0
+        self._seq = 0
+        #: seq -> (now, tickets, requests, attempts), insertion-ordered
+        #: so recovery re-dispatches in the original order.
+        self._inflight: dict[int, tuple[float, list[int], list, int]] = {}
+        self._ready: list[tuple[list[int], list[DecisionResponse]]] = []
+        self.worker = PersistentWorker(
+            shard_service_loop,
+            args=(predictor, config),
+            name=f"shard-{index}",
+        )
+
+    def dispatch(
+        self,
+        tickets: list[int],
+        requests: list[DecisionRequest],
+        now: float,
+    ) -> None:
+        """Send a sub-batch to the worker without waiting for the pass."""
+        while len(self._inflight) >= MAX_INFLIGHT_BATCHES:
+            self._pump(block=True)
+        seq = self._seq
+        self._seq += 1
+        self._inflight[seq] = (now, list(tickets), list(requests), 1)
+        try:
+            self.worker.send(("decide", seq, now, requests))
+        except (BrokenPipeError, OSError):
+            self._recover()
+
+    def inflight(self) -> int:
+        """Batches dispatched but not yet collected."""
+        return len(self._inflight) + len(self._ready)
+
+    def collect(self) -> list[tuple[list[int], list[DecisionResponse]]]:
+        """Finished batches whose replies have already arrived."""
+        if not self._inflight and not self._ready:
+            return []  # nothing pending: skip the pipe poll syscall
+        self._pump(block=False)
+        ready = self._ready
+        self._ready = []
+        return ready
+
+    def drain(self) -> list[tuple[list[int], list[DecisionResponse]]]:
+        """Block until every dispatched batch has been answered."""
+        deadline = time.perf_counter() + DRAIN_TIMEOUT_S
+        while self._inflight:
+            self._pump(block=True)
+            if time.perf_counter() > deadline:
+                raise JobError(
+                    f"shard {self.index}: worker unresponsive for "
+                    f"{DRAIN_TIMEOUT_S:.0f}s with "
+                    f"{len(self._inflight)} batches in flight"
+                )
+        ready = self._ready
+        self._ready = []
+        return ready
+
+    def stats(self) -> tuple[ServiceStats, int]:
+        """Round-trip the worker's counters (drain first)."""
+        if self._inflight:
+            raise RuntimeError("stats requires a drained shard")
+        seq = self._seq
+        self._seq += 1
+        self.worker.send(("stats", seq))
+        while True:
+            reply = self.worker.recv()
+            if reply[0] == "stats" and reply[1] == seq:
+                return reply[2], reply[3]
+
+    def close(self) -> None:
+        """Stop the worker process."""
+        self.worker.stop(message=("stop",))
+
+    # ------------------------------------------------------------------
+    # Reply pumping and crash recovery
+    # ------------------------------------------------------------------
+    def _pump(self, block: bool) -> None:
+        """Move arrived replies from the pipe into the ready list."""
+        try:
+            waited = False
+            while True:
+                timeout = 0.05 if (block and not waited) else 0.0
+                if not self.worker.poll(timeout):
+                    if block and not self.worker.alive:
+                        raise EOFError
+                    if block and not waited:
+                        waited = True
+                        continue
+                    return
+                self._handle(self.worker.recv())
+                if block:
+                    return  # made progress; caller loops if it needs more
+        except (EOFError, OSError):
+            self._recover()
+
+    def _handle(self, reply: tuple) -> None:
+        verb, seq = reply[0], reply[1]
+        if verb == "ok":
+            entry = self._inflight.pop(seq, None)
+            if entry is not None:
+                self._ready.append((entry[1], reply[2]))
+        elif verb == "error":
+            self._inflight.pop(seq, None)
+            raise JobError(f"shard {self.index}: worker error: {reply[2]}")
+        elif verb == "stats":  # stale stats reply after a recovery
+            pass
+        else:
+            raise JobError(f"shard {self.index}: unknown reply {verb!r}")
+
+    def _recover(self) -> None:
+        """Respawn the worker and re-dispatch every in-flight batch."""
+        retry = list(self._inflight.items())
+        for seq, (_, tickets, _requests, attempts) in retry:
+            if attempts >= self.max_attempts:
+                raise JobError(
+                    f"shard {self.index}: worker crashed with batch of "
+                    f"{len(tickets)} still failing after {attempts} attempts"
+                )
+        self.restarts += 1
+        time.sleep(self.backoff_s * (2 ** (self.restarts - 1)))
+        self.worker.restart()
+        self._inflight = {}
+        for seq, (now, tickets, requests, attempts) in retry:
+            self._inflight[seq] = (now, tickets, requests, attempts + 1)
+            try:
+                self.worker.send(("decide", seq, now, requests))
+            except (BrokenPipeError, OSError):
+                self._recover()
+                return
+
+
+def make_shards(
+    predictor: "DoraPredictor",
+    config: ServiceConfig,
+    shards: int,
+    process_based: bool,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+) -> Sequence[SerialShard] | Sequence[ProcessShard]:
+    """Build the shard set, worker-backed or in-process."""
+    if process_based:
+        return [
+            ProcessShard(
+                index, predictor, config,
+                max_attempts=max_attempts, backoff_s=backoff_s,
+            )
+            for index in range(shards)
+        ]
+    return [SerialShard(index, predictor, config) for index in range(shards)]

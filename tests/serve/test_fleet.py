@@ -1,0 +1,380 @@
+"""Fleet router: sharded equivalence, skip cache, telemetry, recovery."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro.runtime.pool as pool_module
+from repro.browser.pages import page_by_name
+from repro.runtime.pool import FORCE_POOL_ENV
+from repro.serve.fleet import FleetConfig, FleetDecisionService, FleetStats
+from repro.serve.service import (
+    DecisionRequest,
+    DecisionService,
+    ServiceConfig,
+)
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _request(
+    device="phone-0", deadline=3.0, mpki=2.0, util=0.5, temp=48.0,
+    page="amazon",
+):
+    return DecisionRequest(
+        device_id=device,
+        page=page_by_name(page).features,
+        corunner_mpki=mpki,
+        corunner_utilization=util,
+        temperature_c=temp,
+        deadline_s=deadline,
+    )
+
+
+def _small_fleet(predictor, clock=None, **overrides):
+    """A one-worker fleet with immediate (batch-of-one) evaluation."""
+    overrides.setdefault("workers", 1)
+    overrides.setdefault("service", ServiceConfig(max_batch_size=1))
+    config = FleetConfig(**overrides)
+    if clock is None:
+        return FleetDecisionService(predictor, config)
+    return FleetDecisionService(predictor, config, clock=clock)
+
+
+class TestConfigValidation:
+    def test_worker_floor(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            FleetConfig(workers=0)
+
+    def test_tolerance_sign(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FleetConfig(skip_tolerance=-0.1)
+
+    def test_attempt_floor(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            FleetConfig(max_attempts=0)
+
+
+class TestEquivalence:
+    """ISSUE 5's core contract: same bits as the single service."""
+
+    def _rounds(self):
+        rounds = [
+            [
+                _request(
+                    f"dev-{i}",
+                    mpki=float(i % 5) + 0.5 * step,
+                    page="amazon" if i % 2 else "espn",
+                )
+                for i in range(8)
+            ]
+            for step in range(3)
+        ]
+        # Replay the last round verbatim: pure skip-cache traffic.
+        rounds.append(list(rounds[-1]))
+        return rounds
+
+    def _reference(self, predictor, rounds):
+        single = DecisionService(predictor)
+        responses = []
+        for step, batch in enumerate(rounds):
+            responses.extend(single.decide(batch, now=float(step)))
+        return responses
+
+    def test_fopt_matches_across_worker_counts(self, small_predictor):
+        rounds = self._rounds()
+        expected = self._reference(small_predictor, rounds)
+        for workers in (1, 2, 4):
+            with FleetDecisionService(
+                small_predictor, FleetConfig(workers=workers)
+            ) as fleet:
+                got = []
+                for step, batch in enumerate(rounds):
+                    got.extend(fleet.decide(batch, now=float(step)))
+                assert fleet.stats.skips_total >= len(rounds[-1])
+            assert [r.fopt_hz for r in got] == [r.fopt_hz for r in expected]
+            assert [r.accepted for r in got] == [
+                r.accepted for r in expected
+            ]
+
+    def test_process_shards_match_the_single_service(
+        self, small_predictor, monkeypatch
+    ):
+        monkeypatch.setenv(FORCE_POOL_ENV, "1")
+        rounds = self._rounds()
+        expected = self._reference(small_predictor, rounds)
+        with FleetDecisionService(
+            small_predictor, FleetConfig(workers=3)
+        ) as fleet:
+            assert fleet.mode == "process"
+            assert len(fleet.shards) == 3
+            got = []
+            for step, batch in enumerate(rounds):
+                got.extend(fleet.decide(batch, now=float(step)))
+            # The replayed round is answered entirely by the cache.
+            assert fleet.stats.skips_total >= len(rounds[-1])
+        assert [r.fopt_hz for r in got] == [r.fopt_hz for r in expected]
+
+
+class TestSkipCache:
+    def test_second_identical_request_replays_the_anchor(
+        self, small_predictor
+    ):
+        with _small_fleet(small_predictor) as fleet:
+            [first] = fleet.decide([_request()], now=0.0)
+            [hit] = fleet.decide([_request()], now=1.0)
+            assert not first.trace.skipped
+            assert hit.trace.skipped
+            assert hit.fopt_hz == first.fopt_hz
+            assert hit.request_id == 1  # the new ticket, not the anchor's
+            assert hit.queue_delay_s == 0.0
+            assert fleet.stats.skips_total == 1
+            assert fleet.registry.get("phone-0").skips == 1
+
+    def test_drift_within_tolerance_hits(self, small_predictor):
+        with _small_fleet(small_predictor, skip_tolerance=0.5) as fleet:
+            [first] = fleet.decide([_request(mpki=2.0)], now=0.0)
+            [hit] = fleet.decide([_request(mpki=2.3)], now=1.0)
+            assert hit.trace.skipped
+            assert hit.fopt_hz == first.fopt_hz
+
+    def test_zero_tolerance_requires_exact_equality(self, small_predictor):
+        with _small_fleet(small_predictor, skip_tolerance=0.0) as fleet:
+            fleet.decide([_request(mpki=2.0)], now=0.0)
+            [miss] = fleet.decide([_request(mpki=2.0 + 1e-9)], now=1.0)
+            assert not miss.trace.skipped
+            assert fleet.stats.skips_total == 0
+
+    def test_drift_beyond_tolerance_reevaluates(self, small_predictor):
+        with _small_fleet(small_predictor, skip_tolerance=0.1) as fleet:
+            fleet.decide([_request(mpki=2.0)], now=0.0)
+            [miss] = fleet.decide([_request(mpki=2.5)], now=1.0)
+        [fresh] = DecisionService(small_predictor).decide(
+            [_request(mpki=2.5)], now=0.0
+        )
+        assert not miss.trace.skipped
+        assert miss.fopt_hz == fresh.fopt_hz
+
+    def test_deadline_change_misses(self, small_predictor):
+        with _small_fleet(small_predictor, skip_tolerance=0.5) as fleet:
+            fleet.decide([_request(deadline=3.0)], now=0.0)
+            [miss] = fleet.decide([_request(deadline=2.0)], now=1.0)
+            assert not miss.trace.skipped
+
+    def test_page_change_misses(self, small_predictor):
+        with _small_fleet(small_predictor, skip_tolerance=0.5) as fleet:
+            fleet.decide([_request(page="amazon")], now=0.0)
+            [miss] = fleet.decide([_request(page="espn")], now=1.0)
+            assert not miss.trace.skipped
+
+    def test_rejections_neither_anchor_nor_clobber(self, small_predictor):
+        with _small_fleet(small_predictor) as fleet:
+            # A rejection before any anchor: the next valid request is
+            # evaluated, not replayed.
+            fleet.decide([_request(deadline=0.02)], now=0.0)
+            [first] = fleet.decide([_request()], now=1.0)
+            assert not first.trace.skipped
+            # A rejection after an anchor leaves the anchor intact: the
+            # exact repeat still hits.
+            fleet.decide([_request(deadline=0.02)], now=2.0)
+            [hit] = fleet.decide([_request()], now=3.0)
+            assert hit.trace.skipped
+            assert hit.fopt_hz == first.fopt_hz
+
+    def test_anchor_expires_with_the_session(self, small_predictor):
+        clock = _Clock()
+        fleet = _small_fleet(
+            small_predictor,
+            clock=clock,
+            service=ServiceConfig(max_batch_size=1, session_ttl_s=5.0),
+        )
+        with fleet:
+            [first] = fleet.decide([_request("gone")])
+            clock.now = 20.0
+            fleet.decide([_request("other")])  # the flush evicts "gone"
+            assert "gone" not in fleet.registry
+            [again] = fleet.decide([_request("gone")])
+            assert not again.trace.skipped  # re-evaluated from scratch
+            assert fleet.stats.skips_total == 0
+            assert again.fopt_hz == first.fopt_hz  # same vector, same bits
+
+    @given(
+        mpki=st.floats(0.0, 20.0),
+        util=st.floats(0.0, 1.0),
+        temp=st.floats(20.0, 80.0),
+        tolerance=st.sampled_from([0.0, 1e-9, 1e-3, 0.5]),
+        page=st.sampled_from(["amazon", "espn"]),
+    )
+    def test_hits_are_bit_equal_to_full_evaluation(
+        self, small_predictor, mpki, util, temp, tolerance, page
+    ):
+        """Property: a replayed response carries exactly the bits a full
+        re-evaluation of the same vector would produce, at any
+        tolerance."""
+        request = _request(mpki=mpki, util=util, temp=temp, page=page)
+        with _small_fleet(
+            small_predictor, skip_tolerance=tolerance
+        ) as fleet:
+            [evaluated] = fleet.decide([request], now=0.0)
+            [hit] = fleet.decide([request], now=1.0)
+            assert fleet.stats.skips_total == 1
+        [fresh] = DecisionService(small_predictor).decide(
+            [request], now=0.0
+        )
+        assert hit.trace.skipped
+        assert hit.fopt_hz == evaluated.fopt_hz == fresh.fopt_hz
+        assert hit.accepted == evaluated.accepted == fresh.accepted
+
+    @given(
+        drifts=st.lists(
+            st.sampled_from([0.0, 0.0, 0.25, 1.5]), min_size=1, max_size=10
+        )
+    )
+    def test_zero_tolerance_stream_is_lossless(self, small_predictor, drifts):
+        """Property: at tolerance 0 the fleet's answer stream is the
+        single service's, hit or miss -- the cache only ever absorbs
+        exact repeats, which are bit-stable by determinism."""
+        mpki, requests = 2.0, []
+        for drift in drifts:
+            mpki += drift
+            requests.append(_request(mpki=mpki))
+        with _small_fleet(small_predictor, skip_tolerance=0.0) as fleet:
+            got = []
+            for step, request in enumerate(requests):
+                got.extend(fleet.decide([request], now=float(step)))
+            assert fleet.stats.skips_total == sum(
+                1 for drift in drifts[1:] if drift == 0.0
+            )
+        single = DecisionService(small_predictor)
+        expected = []
+        for step, request in enumerate(requests):
+            expected.extend(single.decide([request], now=float(step)))
+        assert [r.fopt_hz for r in got] == [r.fopt_hz for r in expected]
+
+
+class TestServingSurface:
+    @pytest.fixture
+    def clock(self):
+        return _Clock()
+
+    @pytest.fixture
+    def fleet(self, small_predictor, clock):
+        with FleetDecisionService(
+            small_predictor,
+            FleetConfig(
+                workers=1,
+                service=ServiceConfig(max_batch_size=4, max_wait_s=0.01),
+            ),
+            clock=clock,
+        ) as service:
+            yield service
+
+    def test_submit_buffers_until_the_batch_fills(self, fleet):
+        for i in range(3):
+            assert fleet.submit(_request(f"phone-{i}")) == []
+        assert fleet.pending() == 3
+        responses = fleet.submit(_request("phone-3"))
+        assert [r.request_id for r in responses] == [0, 1, 2, 3]
+        assert fleet.pending() == 0
+        assert fleet.stats.flushes_on_size == 1
+
+    def test_poll_flushes_after_the_wait_budget(self, fleet, clock):
+        fleet.submit(_request())
+        clock.now = 0.005
+        assert fleet.poll() == []
+        clock.now = 0.010
+        [response] = fleet.poll()
+        assert fleet.stats.flushes_on_wait == 1
+        assert response.queue_delay_s == pytest.approx(0.010)
+
+    def test_rejection_is_immediate_and_answers_fmax(self, fleet):
+        [response] = fleet.submit(_request(deadline=0.02))
+        assert not response.accepted
+        assert response.trace is None
+        assert response.fopt_hz == fleet._fmax_hz
+        assert fleet.pending() == 0
+        assert fleet.stats.rejected_total == 1
+        assert fleet.registry.get("phone-0").rejections == 1
+
+    def test_decide_orders_by_ticket(self, fleet):
+        requests = [
+            _request("a", mpki=1.0),
+            _request("b", deadline=0.02),
+            _request("c", mpki=3.0),
+            _request("a", mpki=1.0),
+        ]
+        responses = fleet.decide(requests)
+        assert [r.request_id for r in responses] == [0, 1, 2, 3]
+        assert [r.device_id for r in responses] == ["a", "b", "c", "a"]
+        assert [r.accepted for r in responses] == [True, False, True, True]
+
+
+class TestTelemetryAndLifecycle:
+    def test_merged_stats_fold_in_the_shard_counters(self, small_predictor):
+        with FleetDecisionService(
+            small_predictor, FleetConfig(workers=2)
+        ) as fleet:
+            batch = [_request(f"d{i}", mpki=float(i)) for i in range(6)]
+            fleet.decide(batch, now=0.0)
+            fleet.decide(batch, now=1.0)  # all six replay from the cache
+            merged = fleet.merged_stats()
+        assert isinstance(merged, FleetStats)
+        assert merged.requests_total == 12
+        assert merged.skips_total == 6
+        assert merged.skip_rate() == pytest.approx(0.5)
+        assert merged.accepted_total == 6  # shards only saw the misses
+        assert merged.batches_total >= 1
+        assert merged.mean_batch_size() > 0
+        assert merged.largest_batch <= 6
+
+    def test_serial_collapse_on_a_single_cpu_host(
+        self, small_predictor, monkeypatch
+    ):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+        with FleetDecisionService(
+            small_predictor, FleetConfig(workers=4)
+        ) as fleet:
+            assert fleet.mode == "serial (single-CPU host)"
+            # Partitioning pays only with real processes: serial mode
+            # routes everything through one backing shard so misses
+            # batch together.
+            assert len(fleet.shards) == 1
+
+    def test_one_worker_stays_serial(self, small_predictor):
+        with FleetDecisionService(
+            small_predictor, FleetConfig(workers=1)
+        ) as fleet:
+            assert fleet.mode.startswith("serial (")
+
+    def test_close_is_idempotent(self, small_predictor):
+        fleet = _small_fleet(small_predictor)
+        fleet.decide([_request()], now=0.0)
+        fleet.close()
+        fleet.close()
+
+    def test_crashed_workers_recover_with_identical_bits(
+        self, small_predictor, monkeypatch
+    ):
+        monkeypatch.setenv(FORCE_POOL_ENV, "1")
+        requests = [_request(f"d{i}", mpki=float(i)) for i in range(8)]
+        expected = DecisionService(small_predictor).decide(
+            list(requests), now=0.0
+        )
+        with FleetDecisionService(
+            small_predictor, FleetConfig(workers=2, backoff_s=0.0)
+        ) as fleet:
+            assert fleet.mode == "process"
+            for shard in fleet.shards:
+                shard.worker._process.kill()
+                shard.worker._process.join(5.0)
+            responses = fleet.decide(list(requests), now=0.0)
+            assert fleet.worker_restarts() >= 1
+        assert [r.fopt_hz for r in responses] == [
+            r.fopt_hz for r in expected
+        ]

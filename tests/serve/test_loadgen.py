@@ -81,6 +81,32 @@ class TestStream:
             LoadgenConfig(requests=0)
         with pytest.raises(ValueError, match="QPS"):
             LoadgenConfig(target_qps=0.0)
+        with pytest.raises(ValueError, match="revisit"):
+            LoadgenConfig(revisit_period=-1)
+
+    def test_revisit_pattern_repeats_each_observation(self, traces):
+        # With a revisit period of 4, each device re-submits the same
+        # counter vector four visits in a row before advancing -- the
+        # deterministic repeat traffic the fleet skip cache feeds on.
+        config = LoadgenConfig(devices=2, requests=24, revisit_period=4)
+        stream = request_stream(traces, config)
+        visits = [r for r in stream if r.device_id == "device-0000"]
+        vectors = [
+            (r.corunner_mpki, r.corunner_utilization, r.temperature_c)
+            for r in visits
+        ]
+        for visit in range(1, 4):
+            assert vectors[visit] == vectors[0]
+        assert vectors[4] != vectors[0]
+        assert vectors[5:8] == [vectors[4]] * 3
+
+    def test_revisit_period_one_changes_nothing(self, traces):
+        config = LoadgenConfig(devices=2, requests=12)
+        plain = request_stream(traces, config)
+        unit = request_stream(
+            traces, LoadgenConfig(devices=2, requests=12, revisit_period=1)
+        )
+        assert unit == plain
 
     def test_empty_traces_rejected(self):
         with pytest.raises(ValueError, match="trace"):
@@ -115,6 +141,45 @@ class TestReplay:
         )
         assert report.fopts_hz() == scalar_fopts
         assert report.rejected == 4  # requests 7, 14, 21, 28
+
+    def test_injected_fleet_service_reports_skips(
+        self, small_predictor, traces
+    ):
+        from repro.serve.fleet import FleetConfig, FleetDecisionService
+
+        config = LoadgenConfig(
+            devices=4,
+            requests=64,
+            target_qps=50000,
+            max_batch_size=8,
+            revisit_period=4,
+        )
+        fleet = FleetDecisionService(
+            small_predictor,
+            FleetConfig(workers=1, service=config.service_config()),
+        )
+        with fleet:
+            report = FleetLoadGenerator(
+                small_predictor, config, service=fleet
+            ).run(traces)
+        assert len(report.responses) == 64
+        assert report.skips > 0
+        assert report.skip_rate() == pytest.approx(report.skips / 64)
+        # The replay is still bit-faithful to the scalar loop.
+        scalar_fopts, _ = scalar_decision_baseline(
+            small_predictor, request_stream(traces, config)
+        )
+        assert report.fopts_hz() == scalar_fopts
+
+    def test_plain_service_reports_zero_skips(
+        self, small_predictor, traces
+    ):
+        config = LoadgenConfig(
+            devices=4, requests=24, target_qps=50000, revisit_period=4
+        )
+        report = FleetLoadGenerator(small_predictor, config).run(traces)
+        assert report.skips == 0
+        assert report.skip_rate() == 0.0
 
 
 class TestBench:

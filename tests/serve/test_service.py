@@ -1,8 +1,11 @@
 """Decision service: micro-batching, admission, tracing, sessions."""
 
+import math
+
 import pytest
 
 from repro.browser.pages import page_by_name
+from repro.models.performance_model import MIN_PREDICTED_LOAD_TIME_S
 from repro.serve.service import (
     DecisionRequest,
     DecisionService,
@@ -105,6 +108,51 @@ class TestAdmission:
         )
         assert not margined.admits(_request(deadline=0.06))
 
+    def test_exactly_at_the_floor_is_admitted(self, small_predictor):
+        # Admission is >=, so a deadline equal to the predicted-load
+        # floor is the tightest request that still gets a decision.
+        service = DecisionService(small_predictor)
+        at_floor = _request(deadline=MIN_PREDICTED_LOAD_TIME_S)
+        assert service.effective_deadline_s(at_floor) == (
+            MIN_PREDICTED_LOAD_TIME_S
+        )
+        assert service.admits(at_floor)
+        just_under = _request(
+            deadline=math.nextafter(MIN_PREDICTED_LOAD_TIME_S, 0.0)
+        )
+        assert not service.admits(just_under)
+
+    def test_margin_boundary_lands_exactly_on_the_floor(
+        self, small_predictor
+    ):
+        # 0.1 s halved by a 50 % margin is exactly the 0.05 s floor in
+        # binary floating point, so the boundary case is admitted; one
+        # ulp less deadline is not.
+        service = DecisionService(
+            small_predictor, config=ServiceConfig(qos_margin=0.5)
+        )
+        assert service.effective_deadline_s(_request(deadline=0.1)) == (
+            MIN_PREDICTED_LOAD_TIME_S
+        )
+        assert service.admits(_request(deadline=0.1))
+        assert not service.admits(
+            _request(deadline=math.nextafter(0.1, 0.0))
+        )
+
+    def test_exactly_at_deadline_stays_feasible(self, small_predictor):
+        # Algorithm 1's feasibility test is <=: a candidate whose
+        # predicted load time equals the effective deadline is kept,
+        # and (being PPW-optimal over the wider set) still wins.
+        service = DecisionService(small_predictor)
+        [probe] = service.decide([_request(deadline=3.0)])
+        pinned_deadline = probe.trace.load_time_s
+        [pinned] = service.decide(
+            [_request("phone-pin", deadline=pinned_deadline)]
+        )
+        assert pinned.trace.feasible
+        assert pinned.fopt_hz == probe.fopt_hz
+        assert pinned.trace.load_time_s == pinned_deadline
+
     def test_request_validation(self):
         with pytest.raises(ValueError, match="deadline"):
             _request(deadline=0.0)
@@ -142,6 +190,28 @@ class TestSessions:
     def test_rejections_update_the_registry(self, service):
         service.submit(_request("phone-8", deadline=0.02))
         assert service.registry.get("phone-8").rejections == 1
+
+    def test_rejection_refreshes_but_never_records_the_vector(
+        self, small_predictor, clock
+    ):
+        # A rejected request keeps the device's session alive (it is
+        # activity) but its feature vector is never recorded -- only
+        # served decisions may become skip-cache anchors.
+        service = DecisionService(
+            small_predictor,
+            config=ServiceConfig(max_batch_size=1, session_ttl_s=5.0),
+            clock=clock,
+        )
+        service.decide([_request("dev", mpki=4.0)])
+        clock.now = 4.0
+        service.submit(_request("dev", deadline=0.02, mpki=9.0))
+        session = service.registry.get("dev")
+        assert session.rejections == 1
+        assert session.corunner_mpki == 4.0
+        assert session.last_seen_s == 4.0
+        clock.now = 8.0
+        service.decide([_request("other")])  # eviction pass at t=8
+        assert "dev" in service.registry  # the rejection kept it alive
 
     def test_silent_devices_evicted_on_later_flushes(
         self, small_predictor, clock

@@ -91,3 +91,90 @@ class TestTtlEviction:
     def test_ttl_must_be_positive(self):
         with pytest.raises(ValueError, match="TTL"):
             SessionRegistry(ttl_s=0.0)
+
+    def test_eviction_order_is_oldest_activity_first(self, registry, clock):
+        for index, device in enumerate(("c", "a", "b")):
+            clock.now = float(index)
+            registry.touch(device)
+        clock.now = 100.0
+        assert registry.evict_expired() == ("c", "a", "b")
+
+    def test_refresh_keeps_a_fetched_session_alive(self, registry, clock):
+        session = registry.touch("phone-1")
+        clock.now = 8.0
+        registry.refresh(session, clock.now)
+        assert session.last_seen_s == 8.0
+        clock.now = 15.0  # 7 s since the refresh: inside the TTL
+        assert registry.evict_expired() == ()
+        clock.now = 19.0
+        assert registry.evict_expired() == ("phone-1",)
+
+    def test_anchor_fields_are_recorded(self, registry):
+        page = page_by_name("amazon").features
+        anchor = object()
+        session = registry.record_decision(
+            "phone-1",
+            page=page,
+            corunner_mpki=3.0,
+            corunner_utilization=0.4,
+            temperature_c=52.0,
+            freq_hz=1.19e9,
+            deadline_s=2.5,
+            response=anchor,
+        )
+        assert session.deadline_s == 2.5
+        assert session.last_response is anchor
+        # Omitting them on a later decision leaves both untouched, so a
+        # plain (cacheless) service never clears fleet anchors.
+        registry.record_decision(
+            "phone-1",
+            page=page,
+            corunner_mpki=3.5,
+            corunner_utilization=0.4,
+            temperature_c=52.0,
+            freq_hz=1.19e9,
+        )
+        assert session.deadline_s == 2.5
+        assert session.last_response is anchor
+
+
+class TestEvictionCost:
+    """The satellite-1 bound: eviction work scales with what expired."""
+
+    def test_quiet_polls_examine_nothing(self, registry, clock):
+        for device in range(500):
+            registry.touch(f"phone-{device}")
+        clock.now = 5.0  # everyone inside the TTL
+        for _ in range(100):
+            assert registry.evict_expired() == ()
+        # O(evicted): 100 polls over 500 live sessions never pop a
+        # single activity-log entry -- the deque-head check suffices.
+        assert registry.expiry_scans == 0
+
+    def test_scans_are_proportional_to_expiries(self, registry, clock):
+        for device in range(100):
+            registry.touch(f"old-{device}")
+        clock.now = 9.0
+        for device in range(100):
+            registry.touch(f"fresh-{device}")
+        clock.now = 11.0  # only the first hundred have aged out
+        evicted = registry.evict_expired()
+        assert len(evicted) == 100
+        assert registry.expiry_scans == 100
+
+    def test_hot_sessions_trigger_compaction(self, registry, clock):
+        from repro.serve import sessions as sessions_module
+
+        bound = (
+            sessions_module._COMPACTION_FACTOR * 2
+            + sessions_module._COMPACTION_SLACK
+        )
+        registry.touch("hot")
+        registry.touch("cold")
+        for step in range(10_000):
+            clock.now = step * 1e-3
+            registry.touch("hot")
+        # The activity log stays bounded by live sessions, not touches.
+        assert len(registry._expiry) <= bound + 1
+        clock.now = 100.0
+        assert set(registry.evict_expired()) == {"hot", "cold"}
