@@ -40,7 +40,9 @@ from repro.sim.engine import RunResult
 __all__ = [
     "CALIBRATION_FINGERPRINT",
     "CALIBRATION_TAG",
+    "default_model_registry",
     "default_predictor",
+    "default_telemetry_store",
     "default_trained_models",
     "make_decision_service",
     "make_fleet_service",
@@ -80,6 +82,38 @@ def default_trained_models(
 def default_predictor(config: TrainingConfig | None = None) -> DoraPredictor:
     """The standard :class:`DoraPredictor` (trains on first use)."""
     return default_trained_models(config).predictor
+
+
+def default_telemetry_store(root=None):
+    """The standard :class:`repro.learn.TelemetryStore`.
+
+    Partitioned under the repro cache by the active calibration
+    fingerprint, so records harvested under one calibration never mix
+    into another's retraining set.
+
+    Args:
+        root: Alternate store root (default: ``<cache>/telemetry``).
+    """
+    from repro.experiments.cache import cache_dir
+    from repro.learn.telemetry import TelemetryStore
+
+    return TelemetryStore(root if root is not None else cache_dir() / "telemetry")
+
+
+def default_model_registry(root=None):
+    """The standard :class:`repro.learn.ModelRegistry`.
+
+    Versions live under the repro cache, keyed by the active
+    calibration fingerprint; see :mod:`repro.learn.registry` for the
+    publish/activate semantics.
+
+    Args:
+        root: Alternate registry root (default: ``<cache>/registry``).
+    """
+    from repro.experiments.cache import cache_dir
+    from repro.learn.registry import ModelRegistry
+
+    return ModelRegistry(root if root is not None else cache_dir() / "registry")
 
 
 def make_decision_service(

@@ -14,6 +14,13 @@ Commands:
 * ``sim-bench`` -- benchmark the regime-stepped simulator fast path
   against the per-step reference loop (per-case timings, campaign
   aggregate, result equivalence).
+* ``swap-bench`` -- benchmark the online learning loop end to end:
+  harvest telemetry, retrain, shadow-score the candidate, then
+  hot-swap it mid-stream (closed-loop equivalence, shadow overhead,
+  swap stall).
+* ``retrain`` -- refit the models from harvested telemetry and publish
+  the candidate to the model registry.
+* ``models`` -- list the registry's published versions and lineage.
 * ``figures`` -- regenerate paper figures (all or a selection), with
   optional CSV export.
 * ``train`` -- run the measurement campaign, train, and save the model
@@ -58,6 +65,62 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
         help="worker processes for independent runs "
         "(0 = serial; default: $REPRO_WORKERS or serial)",
     )
+
+
+def _add_bench_flags(
+    parser: argparse.ArgumentParser,
+    output_example: str,
+    repeats_default: int = 1,
+) -> None:
+    """The option group every ``*-bench`` command shares.
+
+    All bench records carry the same JSON envelope (git sha,
+    calibration identity, host CPU count), so the flags that shape it
+    are defined once.
+    """
+    parser.add_argument(
+        "--output", default=None, metavar="JSON",
+        help=f"write the bench record (e.g. {output_example})",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized models and workload (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=repeats_default,
+        help="timed repetitions, best-of (default: %(default)s)",
+    )
+
+
+def _smoke_training_config():
+    """The CI-sized training campaign the bench smoke modes share."""
+    from repro.models.training import TrainingConfig
+
+    return TrainingConfig(
+        pages=("amazon", "espn"),
+        freqs_hz=(729.6e6, 1190.4e6, 1728.0e6, 2265.6e6),
+        dt_s=0.004,
+        seed=7,
+    )
+
+
+def _bench_workload(args: argparse.Namespace):
+    """``(predictor, harness_config, combos)`` for the serving benches.
+
+    ``--smoke`` swaps in the two-page training campaign, a coarse
+    engine step, and three harvested combos -- every layer exercised
+    in seconds.
+    """
+    from repro.api import default_predictor
+    from repro.experiments.harness import HarnessConfig
+    from repro.experiments.suite import all_combos
+
+    if args.smoke:
+        predictor = default_predictor(_smoke_training_config())
+        return predictor, HarnessConfig(dt_s=0.004), all_combos()[:3]
+    predictor = default_predictor()
+    combos = all_combos()[: getattr(args, "trace_combos", 6)]
+    return predictor, HarnessConfig(), combos
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -224,31 +287,10 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    from repro.api import default_predictor
-    from repro.experiments.harness import HarnessConfig
-    from repro.experiments.suite import all_combos
     from repro.serve.loadgen import LoadgenConfig, run_serve_bench
 
     _setup_runtime(args)
-    if args.smoke:
-        # CI-sized: two-page training campaign, coarse engine step,
-        # three harvested combos -- exercises every layer in seconds.
-        from repro.models.training import TrainingConfig
-
-        predictor = default_predictor(
-            TrainingConfig(
-                pages=("amazon", "espn"),
-                freqs_hz=(729.6e6, 1190.4e6, 1728.0e6, 2265.6e6),
-                dt_s=0.004,
-                seed=7,
-            )
-        )
-        harness = HarnessConfig(dt_s=0.004)
-        combos = all_combos()[:3]
-    else:
-        predictor = default_predictor()
-        harness = HarnessConfig()
-        combos = all_combos()[: args.trace_combos]
+    predictor, harness, combos = _bench_workload(args)
     config = LoadgenConfig(
         devices=args.devices,
         requests=args.requests,
@@ -263,8 +305,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         harness_config=harness,
         combos=combos,
         output_path=args.output,
+        repeats=args.repeats,
     )
-    record = result.to_record()
+    record = result.to_record(repeats=args.repeats)
     latency = record["latency"]
     print(f"requests    : {record['requests']} over {record['devices']} devices")
     print(
@@ -285,29 +328,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet_bench(args: argparse.Namespace) -> int:
-    from repro.api import default_predictor
-    from repro.experiments.harness import HarnessConfig
-    from repro.experiments.suite import all_combos
     from repro.serve.loadgen import LoadgenConfig, run_fleet_bench
 
-    if args.smoke:
-        # Same CI-sized setup as ``serve-bench --smoke``.
-        from repro.models.training import TrainingConfig
-
-        predictor = default_predictor(
-            TrainingConfig(
-                pages=("amazon", "espn"),
-                freqs_hz=(729.6e6, 1190.4e6, 1728.0e6, 2265.6e6),
-                dt_s=0.004,
-                seed=7,
-            )
-        )
-        harness = HarnessConfig(dt_s=0.004)
-        combos = all_combos()[:3]
-    else:
-        predictor = default_predictor()
-        harness = HarnessConfig()
-        combos = all_combos()[: args.trace_combos]
+    predictor, harness, combos = _bench_workload(args)
     config = LoadgenConfig(
         devices=args.devices,
         requests=args.requests,
@@ -326,8 +349,9 @@ def _cmd_fleet_bench(args: argparse.Namespace) -> int:
         skip_cache=not args.no_skip_cache,
         skip_tolerance=args.skip_tolerance,
         output_path=args.output,
+        repeats=args.repeats,
     )
-    record = result.to_record()
+    record = result.to_record(repeats=args.repeats)
     latency = record["latency"]
     mismatches = (
         record["fopt_mismatches_vs_single"] + record["fopt_mismatches_vs_scalar"]
@@ -393,6 +417,142 @@ def _cmd_sim_bench(args: argparse.Namespace) -> int:
     )
     if args.output:
         print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_swap_bench(args: argparse.Namespace) -> int:
+    from repro.learn.bench import run_swap_bench
+    from repro.serve.loadgen import LoadgenConfig
+
+    _setup_runtime(args)
+    predictor, harness, combos = _bench_workload(args)
+    config = LoadgenConfig(
+        devices=args.devices,
+        requests=args.requests,
+        target_qps=args.qps,
+        max_batch_size=args.batch_size,
+        max_wait_s=args.max_wait_ms / 1e3,
+        qos_margin=args.qos_margin,
+        revisit_period=args.revisit_period,
+    )
+    result = run_swap_bench(
+        predictor,
+        config,
+        harness_config=harness,
+        combos=combos,
+        workers=args.shards,
+        work_dir=args.work_dir,
+        repeats=args.repeats,
+        promote_threshold=args.promote_threshold,
+        output_path=args.output,
+    )
+    record = result.to_record(repeats=args.repeats)
+    retrain = record["retrain"]
+    swap = record["swap"]
+    print(
+        f"topology    : {record['workers']} shards, {record['mode']} mode"
+    )
+    print(
+        f"harvest     : {record['telemetry_records']} telemetry records "
+        f"over {record['devices']} devices"
+    )
+    print(
+        f"retrain     : v{retrain['version']} from "
+        f"{retrain['vectors_unique']} vectors "
+        f"({retrain['observations']} observations, "
+        f"{retrain['vectors_dropped']} dropped)"
+    )
+    print(
+        f"shadow      : {record['shadow_mismatches']} mismatches over "
+        f"{record['shadow_scored']} scored, "
+        f"overhead {record['shadow_overhead']:.1%}, "
+        f"promoted={record['promoted']}"
+    )
+    print(
+        f"hot-swap    : {swap['responses']} responses, "
+        f"{swap['dropped_tickets']} dropped, "
+        f"{swap['fopt_mismatches_vs_baseline']} fopt mismatches, "
+        f"swap call {swap['swap_call_ms']:.2f} ms"
+    )
+    if args.output:
+        print(f"wrote {args.output}")
+    failed = (
+        record["shadow_mismatches"] != 0
+        or swap["dropped_tickets"] != 0
+        or swap["fopt_mismatches_vs_baseline"] != 0
+    )
+    return 1 if failed else 0
+
+
+def _cmd_retrain(args: argparse.Namespace) -> int:
+    from repro.api import (
+        default_model_registry,
+        default_predictor,
+        default_telemetry_store,
+    )
+    from repro.learn.retrain import RetrainConfig, retrain_from_telemetry
+
+    _setup_runtime(args)
+    store = default_telemetry_store(args.telemetry)
+    registry = default_model_registry(args.registry)
+    if store.record_count() == 0:
+        print(
+            f"no telemetry under {store.partition} -- run a fleet with "
+            "telemetry attached (e.g. swap-bench) first",
+            file=sys.stderr,
+        )
+        return 2
+    # The generating model: the registry's active version when one is
+    # pinned, else the bundle the fleet serves by default.
+    parent = registry.active_version()
+    if parent is not None:
+        predictor = registry.load(parent)
+    elif args.smoke:
+        predictor = default_predictor(_smoke_training_config())
+    else:
+        predictor = default_predictor()
+    result = retrain_from_telemetry(
+        store,
+        predictor,
+        registry=registry,
+        config=RetrainConfig(ridge_cross=args.ridge_cross),
+        parent_version=parent,
+    )
+    record = result.to_record()
+    print(
+        f"telemetry   : {record['records_seen']} records, "
+        f"{record['vectors_unique']} unique vectors "
+        f"({record['vectors_dropped']} dropped)"
+    )
+    print(f"fit         : {record['observations']} labeled observations")
+    lineage = f" (parent v{parent})" if parent is not None else ""
+    print(f"published   : v{record['version']}{lineage} -> {registry.partition}")
+    if args.activate:
+        registry.activate(result.version)
+        print(f"activated   : v{result.version}")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.api import default_model_registry
+
+    registry = default_model_registry(args.registry)
+    versions = registry.versions()
+    if not versions:
+        print(f"no published models under {registry.partition}")
+        return 0
+    active = registry.active_version()
+    print(f"registry    : {registry.partition}")
+    for version in versions:
+        meta = registry.meta(version)
+        parent = meta.get("parent_version")
+        lineage = f"parent v{parent}" if parent is not None else "root"
+        marker = " *active*" if version == active else ""
+        print(
+            f"  v{version:04d}  {meta.get('source', '?'):<8} {lineage:<12} "
+            f"{meta.get('observations', '?')} obs, "
+            f"tag {meta.get('calibration', {}).get('tag', '?')}{marker}"
+        )
     return 0
 
 
@@ -538,14 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-combos", type=int, default=6,
         help="suite workloads to harvest counter traces from",
     )
-    serve_parser.add_argument(
-        "--output", default=None, metavar="JSON",
-        help="write the bench record (e.g. BENCH_serve.json)",
-    )
-    serve_parser.add_argument(
-        "--smoke", action="store_true",
-        help="CI-sized models and harvest (seconds, not minutes)",
-    )
+    _add_bench_flags(serve_parser, "BENCH_serve.json")
     _add_workers_flag(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve_bench)
 
@@ -588,31 +741,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-combos", type=int, default=6,
         help="suite workloads to harvest counter traces from",
     )
-    fleet_parser.add_argument(
-        "--output", default=None, metavar="JSON",
-        help="write the bench record (e.g. BENCH_fleet.json)",
-    )
-    fleet_parser.add_argument(
-        "--smoke", action="store_true",
-        help="CI-sized models and harvest (seconds, not minutes)",
-    )
+    _add_bench_flags(fleet_parser, "BENCH_fleet.json")
     fleet_parser.set_defaults(func=_cmd_fleet_bench)
 
     sim_parser = commands.add_parser(
         "sim-bench", help="benchmark the regime-stepped engine fast path"
     )
-    sim_parser.add_argument(
-        "--repeats", type=int, default=5, help="timed runs per engine (best-of)"
-    )
-    sim_parser.add_argument(
-        "--output", default=None, metavar="JSON",
-        help="write the bench record (e.g. BENCH_engine.json)",
-    )
-    sim_parser.add_argument(
-        "--smoke", action="store_true",
-        help="CI-sized case subset (seconds, not tens of seconds)",
-    )
+    _add_bench_flags(sim_parser, "BENCH_engine.json", repeats_default=5)
     sim_parser.set_defaults(func=_cmd_sim_bench)
+
+    swap_parser = commands.add_parser(
+        "swap-bench",
+        help="benchmark the online learning loop (harvest -> retrain -> "
+        "shadow -> hot-swap)",
+    )
+    swap_parser.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="fleet shard count (worker processes when the host allows)",
+    )
+    swap_parser.add_argument("--devices", type=int, default=32)
+    swap_parser.add_argument("--requests", type=int, default=2048)
+    swap_parser.add_argument(
+        "--batch-size", type=int, default=64, help="per-shard flush-on-size"
+    )
+    swap_parser.add_argument(
+        "--max-wait-ms", type=float, default=5.0, help="per-shard flush-on-wait"
+    )
+    swap_parser.add_argument(
+        "--qps", type=float, default=5000.0, help="virtual arrival rate"
+    )
+    swap_parser.add_argument(
+        "--qos-margin", type=float, default=0.0, help="deadline safety margin"
+    )
+    swap_parser.add_argument(
+        "--revisit-period", type=int, default=16,
+        help="requests per device between counter refreshes",
+    )
+    swap_parser.add_argument(
+        "--trace-combos", type=int, default=6,
+        help="suite workloads to harvest counter traces from",
+    )
+    swap_parser.add_argument(
+        "--work-dir", default=None, metavar="DIR",
+        help="telemetry store + registry root (default: the repro cache)",
+    )
+    swap_parser.add_argument(
+        "--promote-threshold", type=float, default=0.0,
+        help="max shadow mismatch rate the promote decision allows",
+    )
+    _add_bench_flags(swap_parser, "BENCH_swap.json")
+    _add_workers_flag(swap_parser)
+    swap_parser.set_defaults(func=_cmd_swap_bench)
+
+    retrain_parser = commands.add_parser(
+        "retrain", help="refit models from telemetry, publish to the registry"
+    )
+    retrain_parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="telemetry store root (default: <cache>/telemetry)",
+    )
+    retrain_parser.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="model registry root (default: <cache>/registry)",
+    )
+    retrain_parser.add_argument(
+        "--ridge-cross", type=float, default=0.0,
+        help="cross-term ridge penalty (0 = exact self-replay recovery)",
+    )
+    retrain_parser.add_argument(
+        "--activate", action="store_true",
+        help="pin the published version as the registry's active model",
+    )
+    retrain_parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized generating model when the registry is empty",
+    )
+    _add_workers_flag(retrain_parser)
+    retrain_parser.set_defaults(func=_cmd_retrain)
+
+    models_parser = commands.add_parser(
+        "models", help="list the registry's published model versions"
+    )
+    models_parser.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="model registry root (default: <cache>/registry)",
+    )
+    models_parser.set_defaults(func=_cmd_models)
 
     train_parser = commands.add_parser("train", help="train + save models")
     train_parser.add_argument("--output", default=None, metavar="JSON")

@@ -111,6 +111,30 @@ def model_fingerprint() -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
+def calibration_identity() -> dict[str, str]:
+    """The repo's calibration identity as a small JSON-able record.
+
+    Used wherever an artifact must be traceable to the exact model
+    constants that produced it: the model registry's lineage metadata
+    and the benchmark report envelopes.  Purely *reads* the existing
+    tag/fingerprint machinery -- the fingerprint payload itself is
+    pinned and test-enforced elsewhere.
+
+    Returns:
+        ``{"tag", "fingerprint", "pinned_fingerprint"}`` where
+        ``fingerprint`` is the live hash and ``pinned_fingerprint`` the
+        value pinned in :mod:`repro.experiments.cache` (equal unless a
+        constant changed without a re-pin).
+    """
+    from repro.experiments.cache import CALIBRATION_FINGERPRINT, CALIBRATION_TAG
+
+    return {
+        "tag": CALIBRATION_TAG,
+        "fingerprint": model_fingerprint(),
+        "pinned_fingerprint": CALIBRATION_FINGERPRINT,
+    }
+
+
 def verify_calibration() -> tuple[bool, str, str]:
     """Compare the live fingerprint against the pinned one.
 

@@ -1,0 +1,289 @@
+"""Online retraining: refit the Table-I models from harvested telemetry.
+
+The retraining job closes DORA's learning loop: it reads the decision
+records the fleet streamed into a :class:`~repro.learn.telemetry.TelemetryStore`,
+rebuilds a training set from them, refits the piecewise load-time and
+dynamic-power surfaces through the same :func:`~repro.models.training.train_models`
+path the offline campaign uses, and publishes the candidate through the
+:class:`~repro.learn.registry.ModelRegistry`.
+
+Labeling
+--------
+Telemetry records carry the *chosen* frequency's prediction, but a
+surface fit needs labels at **every** candidate frequency for every
+observed feature vector.  The labeler therefore replays each unique
+vector through the generating predictor's *unfloored* surfaces
+(``model.surfaces.predict``, not the floored ``model.predict``):
+
+* unfloored targets lie exactly in the response surface's column
+  space, so a pure least-squares refit (``ridge_cross=0``) recovers
+  the generating model's predictions on those vectors **exactly** --
+  the property behind the closed-loop "0 shadow mismatches"
+  invariant;
+* vectors where any candidate's unfloored prediction sits at or below
+  the serving floors are dropped: their floored telemetry would be a
+  corrupted label that pulls the refit off the surface.
+
+Labeling fans out over :func:`repro.runtime.pool.run_jobs` in vector
+chunks (dotted job kind, so worker processes resolve it by import),
+inheriting the pool's crash retry, backoff and serial fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.browser.dom import PageFeatures
+from repro.learn.registry import ModelRegistry
+from repro.learn.telemetry import TelemetryStore
+from repro.models.performance_model import MIN_PREDICTED_LOAD_TIME_S
+from repro.models.power_model import MIN_PREDICTED_POWER_W
+from repro.models.predictor import DoraPredictor
+from repro.models.training import Observation, TrainedModels, train_models
+
+#: Feature vectors labeled per pool job.
+DEFAULT_CHUNK_SIZE = 64
+
+#: Job kind under which workers resolve the labeler by import.
+LABEL_JOB_KIND = "repro.learn.retrain:label_chunk_job"
+
+
+@dataclass(frozen=True)
+class RetrainConfig:
+    """Tunables of one retraining run.
+
+    Attributes:
+        chunk_size: Feature vectors per labeling job.
+        ridge_cross: Cross-term ridge penalty of the refit.  ``0``
+            (default) is the exact-recovery setting for self-replay;
+            raise it when fitting genuinely noisy outcome labels.
+        workers: Pool workers for the labeling fan-out (``None`` =
+            runtime default, ``0`` = serial).
+    """
+
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    ridge_cross: float = 0.0
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError("chunk size must be at least 1")
+        if self.ridge_cross < 0:
+            raise ValueError("ridge penalty must be non-negative")
+
+
+@dataclass
+class RetrainResult:
+    """What one retraining run produced.
+
+    Attributes:
+        models: The refit bundle.
+        version: Registry version the candidate was published as
+            (``None`` when publishing was skipped).
+        records_seen: Telemetry records read.
+        vectors_unique: Distinct feature/condition vectors among them.
+        vectors_dropped: Vectors discarded for floored labels.
+        observations: Labeled training rows fed to the fit.
+    """
+
+    models: TrainedModels
+    version: int | None
+    records_seen: int
+    vectors_unique: int
+    vectors_dropped: int
+    observations: int
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-able summary for CLI/bench reports."""
+        return {
+            "version": self.version,
+            "records_seen": self.records_seen,
+            "vectors_unique": self.vectors_unique,
+            "vectors_dropped": self.vectors_dropped,
+            "observations": self.observations,
+        }
+
+
+def harvest_vectors(
+    records: Iterable[dict[str, Any]],
+) -> list[tuple[tuple[int, ...], float, float, float]]:
+    """Unique accepted feature/condition vectors, first-seen order.
+
+    A vector is ``(page_tuple, mpki, utilization, temperature)``; the
+    deadline is irrelevant to the surfaces, and duplicate vectors
+    (skip-cache revisit traffic is full of them) would only re-weight
+    the fit without adding information.
+    """
+    seen: dict[tuple, None] = {}
+    for record in records:
+        if not record.get("accepted", False):
+            continue
+        key = (
+            tuple(int(x) for x in record["page"]),
+            float(record["corunner_mpki"]),
+            float(record["corunner_utilization"]),
+            float(record["temperature_c"]),
+        )
+        seen.setdefault(key, None)
+    return list(seen)
+
+
+def label_chunk_job(
+    vectors: list[tuple[tuple[int, ...], float, float, float]],
+    predictor: DoraPredictor,
+) -> list[Observation]:
+    """Label one chunk of vectors at every candidate frequency.
+
+    Returns Observation rows whose targets are the generating model's
+    unfloored surface outputs (plus its leakage estimate, which
+    :func:`train_models` subtracts back out).  Vectors with any
+    floored candidate are dropped wholesale -- partial labels would
+    bias the per-bus-segment fits.
+    """
+    observations: list[Observation] = []
+    for page_tuple, mpki, utilization, temperature_c in vectors:
+        page = PageFeatures(*page_tuple)
+        rows = []
+        ok = True
+        for freq_hz in predictor.candidates():
+            row = predictor.row_for(page, mpki, utilization, freq_hz)
+            load_time_s = predictor.load_time_model.surfaces.predict(row)
+            dynamic_w = predictor.power_model.surfaces.predict(row)
+            if (
+                load_time_s <= MIN_PREDICTED_LOAD_TIME_S
+                or dynamic_w <= MIN_PREDICTED_POWER_W
+            ):
+                ok = False
+                break
+            state = predictor.spec.state_for(freq_hz)
+            leakage_w = predictor.leakage_model.predict(
+                state.voltage_v, temperature_c
+            )
+            rows.append(
+                Observation(
+                    page_name=f"telemetry-{page_tuple[0]}",
+                    kernel_name=None,
+                    row=row,
+                    load_time_s=load_time_s,
+                    total_power_w=dynamic_w + leakage_w,
+                    avg_temperature_c=temperature_c,
+                    voltage_v=state.voltage_v,
+                )
+            )
+        if ok:
+            observations.extend(rows)
+    return observations
+
+
+def label_vectors(
+    vectors: list[tuple[tuple[int, ...], float, float, float]],
+    predictor: DoraPredictor,
+    config: RetrainConfig,
+) -> list[Observation]:
+    """Fan the labeling out over the runtime pool, order-preserving."""
+    from repro.runtime import Job, run_jobs
+
+    chunks = [
+        vectors[start : start + config.chunk_size]
+        for start in range(0, len(vectors), config.chunk_size)
+    ]
+    jobs = [
+        Job(
+            kind=LABEL_JOB_KIND,
+            spec=dict(vectors=chunk, predictor=predictor),
+            label=f"label[{index}] x{len(chunk)}",
+        )
+        for index, chunk in enumerate(chunks)
+    ]
+    results = run_jobs(jobs, workers=config.workers, label="retrain-label")
+    observations: list[Observation] = []
+    for result in results:
+        observations.extend(result.value)
+    return observations
+
+
+def retrain_from_telemetry(
+    store: TelemetryStore,
+    predictor: DoraPredictor,
+    registry: ModelRegistry | None = None,
+    config: RetrainConfig | None = None,
+    parent_version: int | None = None,
+) -> RetrainResult:
+    """Refit the models from a telemetry store and publish the result.
+
+    Args:
+        store: Harvested decision records.
+        predictor: The generating bundle (supplies the labels and the
+            leakage model, which is calibration-fit and passed through
+            unchanged -- telemetry contains no leakage-isolating
+            measurements).
+        registry: Publish target; ``None`` skips publishing.
+        config: Retraining tunables.
+        parent_version: Lineage pointer recorded with the publish.
+
+    Returns:
+        The retrain result (refit bundle + counts + version).
+
+    Raises:
+        ValueError: When the store yields no trainable vectors.
+    """
+    config = config or RetrainConfig()
+    records_seen = 0
+
+    def counted() -> Iterable[dict[str, Any]]:
+        nonlocal records_seen
+        for record in store.iter_records():
+            records_seen += 1
+            yield record
+
+    vectors = harvest_vectors(counted())
+    if not vectors:
+        raise ValueError(
+            f"no trainable telemetry under {store.partition} "
+            f"({records_seen} records, none accepted)"
+        )
+    observations = label_vectors(vectors, predictor, config)
+    per_vector = len(predictor.candidates())
+    vectors_dropped = len(vectors) - len(observations) // per_vector
+    if not observations:
+        raise ValueError("every telemetry vector was dropped for floored labels")
+
+    models = train_models(
+        observations,
+        leakage_model=predictor.leakage_model,
+        ridge_cross=config.ridge_cross,
+    )
+    # Serve the same candidate set the generating bundle swept, so the
+    # two kernels stay column-compatible under shadow comparison.
+    candidate = DoraPredictor(
+        spec=predictor.spec,
+        load_time_model=models.load_time_model,
+        power_model=models.power_model,
+        leakage_model=models.leakage_model,
+        candidate_freqs_hz=predictor.candidate_freqs_hz,
+    )
+    models.predictor = candidate
+
+    version = None
+    if registry is not None:
+        version = registry.publish(
+            candidate,
+            parent_version=parent_version,
+            source="retrain",
+            extra_meta={
+                "records_seen": records_seen,
+                "vectors_unique": len(vectors),
+                "vectors_dropped": vectors_dropped,
+                "observations": len(observations),
+                "ridge_cross": config.ridge_cross,
+            },
+        )
+    return RetrainResult(
+        models=models,
+        version=version,
+        records_seen=records_seen,
+        vectors_unique=len(vectors),
+        vectors_dropped=vectors_dropped,
+        observations=len(observations),
+    )

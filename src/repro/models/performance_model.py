@@ -35,6 +35,8 @@ class PiecewiseLoadTimeModel:
         rows: list[IndependentVariables],
         load_times_s: list[float],
         surface: ResponseSurface = ResponseSurface.INTERACTION,
+        relative_weighting: bool = True,
+        ridge_cross: float = 1e-5,
     ) -> "PiecewiseLoadTimeModel":
         """Fit the per-bus-group surfaces.
 
@@ -43,9 +45,21 @@ class PiecewiseLoadTimeModel:
             load_times_s: Observed load times, parallel to ``rows``.
             surface: Response-surface family (interaction by default,
                 per the paper's model selection).
+            relative_weighting: Weight residuals by ``1/y^2`` (the
+                default, matching the paper's relative-error metric).
+            ridge_cross: Ridge penalty on cross terms.  ``0.0`` makes
+                the fit a pure least-squares interpolation -- what the
+                online-retraining loop needs to reproduce a generating
+                model exactly from its own predictions.
         """
         return cls(
-            surfaces=PiecewiseSurface.fit(rows, load_times_s, surface)
+            surfaces=PiecewiseSurface.fit(
+                rows,
+                load_times_s,
+                surface,
+                relative_weighting=relative_weighting,
+                ridge_cross=ridge_cross,
+            )
         )
 
     @property

@@ -40,6 +40,8 @@ class DynamicPowerModel:
         rows: list[IndependentVariables],
         dynamic_power_w: list[float],
         surface: ResponseSurface = ResponseSurface.LINEAR,
+        relative_weighting: bool = True,
+        ridge_cross: float = 1e-5,
     ) -> "DynamicPowerModel":
         """Fit the surface (the paper selects the linear form).
 
@@ -48,9 +50,21 @@ class DynamicPowerModel:
             dynamic_power_w: Leakage-subtracted power observations,
                 parallel to ``rows``.
             surface: Response-surface family.
+            relative_weighting: Weight residuals by ``1/y^2`` (the
+                default, matching the paper's relative-error metric).
+            ridge_cross: Ridge penalty on cross terms.  ``0.0`` makes
+                the fit a pure least-squares interpolation, which the
+                online-retraining loop uses to reproduce a generating
+                model exactly from its own predictions.
         """
         return cls(
-            surfaces=PiecewiseSurface.fit(rows, dynamic_power_w, surface)
+            surfaces=PiecewiseSurface.fit(
+                rows,
+                dynamic_power_w,
+                surface,
+                relative_weighting=relative_weighting,
+                ridge_cross=ridge_cross,
+            )
         )
 
     @property

@@ -306,6 +306,8 @@ def train_models(
     perf_surface: ResponseSurface = ResponseSurface.INTERACTION,
     power_surface: ResponseSurface = ResponseSurface.LINEAR,
     leakage_model: FittedLeakageModel | None = None,
+    relative_weighting: bool = True,
+    ridge_cross: float = 1e-5,
 ) -> TrainedModels:
     """Fit all models from campaign observations.
 
@@ -313,6 +315,13 @@ def train_models(
     power minus the fitted leakage at the observation's voltage and
     mean temperature, mirroring how the paper separates the two
     components.
+
+    ``relative_weighting`` and ``ridge_cross`` are forwarded to the
+    surface fits; the defaults reproduce the offline campaign fit
+    bit-for-bit.  The online retraining loop passes ``ridge_cross=0``
+    so that refitting a model on its own (unfloored) predictions
+    recovers those predictions exactly instead of shrinking them by
+    the ridge penalty.
     """
     if not observations:
         raise ValueError("cannot train without observations")
@@ -331,8 +340,20 @@ def train_models(
         for o in observations
     ]
 
-    load_time_model = PiecewiseLoadTimeModel.fit(rows, load_times, perf_surface)
-    power_model = DynamicPowerModel.fit(rows, dynamic_power, power_surface)
+    load_time_model = PiecewiseLoadTimeModel.fit(
+        rows,
+        load_times,
+        perf_surface,
+        relative_weighting=relative_weighting,
+        ridge_cross=ridge_cross,
+    )
+    power_model = DynamicPowerModel.fit(
+        rows,
+        dynamic_power,
+        power_surface,
+        relative_weighting=relative_weighting,
+        ridge_cross=ridge_cross,
+    )
     predictor = DoraPredictor(
         spec=device_config.spec,
         load_time_model=load_time_model,

@@ -170,8 +170,16 @@ class SkipCache:
     def lookup(
         self, ticket: int, request: DecisionRequest, now: float
     ) -> DecisionResponse | None:
-        """The replayed response for an unchanged request, else ``None``."""
-        session = self.registry.get(request.device_id)
+        """The replayed response for an unchanged request, else ``None``.
+
+        The TTL-aware :meth:`SessionRegistry.live` lookup matters here:
+        eviction is lazy, so a device returning after more than a TTL
+        of silence can still find its old session in the store -- and
+        replaying that session's anchor would serve a decision the TTL
+        already declared dead.  An expired session is a miss; the
+        request evaluates and re-anchors freshly.
+        """
+        session = self.registry.live(request.device_id, now)
         if session is None or not self._matches(session, request):
             return None
         self.registry.refresh(session, now)
@@ -292,21 +300,36 @@ class FleetDecisionService:
             if self.config.skip_cache
             else None
         )
+        self._fmax_hz = self._router_fmax(predictor)
+        self._buffers: list[list[_Buffered]] = [
+            [] for _ in range(self._shard_count)
+        ]
+        #: ticket -> (originating request, model version at dispatch),
+        #: alive while a shard holds it.  The version tag keeps a
+        #: pre-swap decision absorbed *after* the swap from anchoring a
+        #: stale response in the skip cache.
+        self._inflight: dict[int, tuple[DecisionRequest, int]] = {}
+        #: ticket -> router-clock enqueue time, for queue-delay accounting.
+        self._enqueued: dict[int, float] = {}
+        self._next_ticket = 0
+        self._closed = False
+        #: Bumped on every swap_model; tags dispatched tickets and
+        #: telemetry records.
+        self.model_version = 0
+        self._telemetry_store = None
+        self._telemetry_writers: dict[int, object] = {}
+        self._shadow = None
+        self._shadow_candidate = None
+
+    @staticmethod
+    def _router_fmax(predictor) -> float:
+        """The fmax fallback frequency of a bundle's candidate set."""
         kernel = getattr(predictor, "batch_kernel", None)
         router_kernel: BatchDoraPredictor = (
             kernel() if callable(kernel) else BatchDoraPredictor.from_bundle(predictor)
         )
         order = router_kernel.selection_order
-        self._fmax_hz = float(router_kernel.freqs_hz[order[-1]])
-        self._buffers: list[list[_Buffered]] = [
-            [] for _ in range(self._shard_count)
-        ]
-        #: ticket -> originating request, alive while a shard holds it.
-        self._inflight: dict[int, DecisionRequest] = {}
-        #: ticket -> router-clock enqueue time, for queue-delay accounting.
-        self._enqueued: dict[int, float] = {}
-        self._next_ticket = 0
-        self._closed = False
+        return float(router_kernel.freqs_hz[order[-1]])
 
     # ------------------------------------------------------------------
     # Admission (identical to DecisionService)
@@ -338,18 +361,19 @@ class FleetDecisionService:
         if not self.admits(request):
             self.stats.rejected_total += 1
             self.registry.record_rejection(request.device_id, now)
-            return [
-                DecisionResponse(
-                    request_id=ticket,
-                    device_id=request.device_id,
-                    fopt_hz=self._fmax_hz,
-                    accepted=False,
-                )
-            ] + self._collect(now)
+            rejection = DecisionResponse(
+                request_id=ticket,
+                device_id=request.device_id,
+                fopt_hz=self._fmax_hz,
+                accepted=False,
+            )
+            self._record_telemetry(request, rejection, now)
+            return [rejection] + self._collect(now)
         if self.skip_cache is not None:
             hit = self.skip_cache.lookup(ticket, request, now)
             if hit is not None:
                 self.stats.skips_total += 1
+                self._record_telemetry(request, hit, now)
                 return [hit] + self._collect(now)
         shard_index = shard_for(request.device_id, self._shard_count)
         buffer = self._buffers[shard_index]
@@ -425,10 +449,11 @@ class FleetDecisionService:
         return sum(shard.restarts for shard in self.shards)
 
     def close(self) -> None:
-        """Stop every shard worker (idempotent)."""
+        """Stop every shard worker and flush telemetry (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        self.detach_telemetry()
         for shard in self.shards:
             shard.close()
 
@@ -449,7 +474,7 @@ class FleetDecisionService:
         tickets = [entry.ticket for entry in buffer]
         requests = [entry.request for entry in buffer]
         for entry in buffer:
-            self._inflight[entry.ticket] = entry.request
+            self._inflight[entry.ticket] = (entry.request, self.model_version)
         self.stats.dispatched_total += len(buffer)
         for entry in buffer:
             self._enqueued[entry.ticket] = entry.enqueued_s
@@ -472,8 +497,10 @@ class FleetDecisionService:
     ) -> list[DecisionResponse]:
         """Re-ticket a shard's positional answers and update sessions."""
         responses: list[DecisionResponse] = []
+        shadow_requests: list[DecisionRequest] = []
+        shadow_fopts: list[float] = []
         for ticket, answer in zip(tickets, answers):
-            request = self._inflight.pop(ticket)
+            request, version = self._inflight.pop(ticket)
             enqueued_s = self._enqueued.pop(ticket, now)
             response = DecisionResponse(
                 request_id=ticket,
@@ -483,7 +510,10 @@ class FleetDecisionService:
                 queue_delay_s=max(0.0, now - enqueued_s),
                 trace=answer.trace,
             )
-            if self.skip_cache is not None:
+            # A decision dispatched under an older model version must
+            # not be anchored: the skip cache would replay it for the
+            # new model's traffic.  The ticket is still answered.
+            if self.skip_cache is not None and version == self.model_version:
                 self.skip_cache.store(request, response, now)
             else:
                 self.registry.record_decision(
@@ -496,5 +526,150 @@ class FleetDecisionService:
                     now=now,
                     deadline_s=request.deadline_s,
                 )
+            self._record_telemetry(request, response, now, version)
+            if self._shadow is not None and response.accepted:
+                shadow_requests.append(request)
+                shadow_fopts.append(response.fopt_hz)
             responses.append(response)
+        if self._shadow is not None and shadow_requests:
+            self._shadow.score_batch(shadow_requests, shadow_fopts)
         return responses
+
+    # ------------------------------------------------------------------
+    # Telemetry streaming
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, store) -> None:
+        """Stream every served decision into a telemetry store.
+
+        Args:
+            store: A :class:`repro.learn.telemetry.TelemetryStore` (or
+                anything with a ``writer(shard)`` factory returning
+                append handles).  One writer per shard partition, so
+                the store's single-writer-per-file contract holds.
+        """
+        self.detach_telemetry()
+        self._telemetry_store = store
+
+    def detach_telemetry(self) -> None:
+        """Stop streaming and flush/close the open writers."""
+        for writer in self._telemetry_writers.values():
+            writer.close()
+        self._telemetry_writers = {}
+        self._telemetry_store = None
+
+    def _record_telemetry(
+        self,
+        request: DecisionRequest,
+        response: DecisionResponse,
+        now: float,
+        version: int | None = None,
+    ) -> None:
+        if self._telemetry_store is None:
+            return
+        from repro.learn.telemetry import decision_record
+
+        shard_index = shard_for(request.device_id, self._shard_count)
+        writer = self._telemetry_writers.get(shard_index)
+        if writer is None:
+            writer = self._telemetry_store.writer(shard_index)
+            self._telemetry_writers[shard_index] = writer
+        writer.append(
+            decision_record(
+                request,
+                response,
+                now_s=now,
+                model_version=(
+                    self.model_version if version is None else version
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Model hot-swap and shadow scoring
+    # ------------------------------------------------------------------
+    def swap_model(self, predictor, now: float | None = None) -> None:
+        """Replace the serving model without dropping in-flight tickets.
+
+        The swap is a batch boundary: router buffers are dispatched
+        first (those tickets are decided by the old model), then the
+        swap rides the same FIFO channel as the batches -- serial
+        shards swap immediately behind their synchronous dispatches,
+        process shards get a ``swap`` pipe verb behind every already
+        dispatched batch.  Nothing is drained and nothing stalls; the
+        next ``collect``/``flush`` keeps harvesting pre-swap answers.
+
+        Session anchors are cleared (a cached old-model decision must
+        not be replayed for new-model traffic) and the model version is
+        bumped, which also stops late-arriving pre-swap answers from
+        re-anchoring (see :meth:`_absorb`).
+
+        Args:
+            predictor: The replacement bundle.
+            now: Router-clock time of the swap (defaults to the clock).
+        """
+        if self._closed:
+            raise RuntimeError("cannot swap on a closed fleet")
+        now = self.clock() if now is None else now
+        for shard_index in range(self._shard_count):
+            self._dispatch(shard_index, now)
+        for shard in self.shards:
+            shard.swap(predictor)
+        self._fmax_hz = self._router_fmax(predictor)
+        self.registry.clear_anchors()
+        self.model_version += 1
+
+    def start_shadow(self, candidate) -> None:
+        """Score a candidate bundle against every evaluated decision.
+
+        The candidate decides each absorbed batch in parallel (its own
+        vectorized kernel, same feature arrays) but is never served;
+        mismatch/regret telemetry accumulates per page class until
+        :meth:`promote` or :meth:`rollback` ends the window.
+        """
+        from repro.learn.shadow import ShadowScorer
+
+        self._shadow = ShadowScorer(
+            candidate,
+            include_leakage=self.config.service.include_leakage,
+            qos_margin=self.config.service.qos_margin,
+        )
+        self._shadow_candidate = candidate
+
+    def shadow_report(self):
+        """The active shadow window's accumulated report (or ``None``)."""
+        return None if self._shadow is None else self._shadow.report
+
+    def promote(self, max_mismatch_rate: float = 0.0) -> bool:
+        """Swap the shadowed candidate in if it met the threshold.
+
+        Args:
+            max_mismatch_rate: Highest acceptable fraction of scored
+                decisions the candidate disagreed on.  ``0.0`` demands
+                bit-identical behaviour (the closed-loop retraining
+                bar).
+
+        Returns:
+            ``True`` when the candidate was promoted (shadow window
+            ends, model swapped), ``False`` when it stays in shadow.
+
+        Raises:
+            RuntimeError: When no shadow window is active or nothing
+                was scored yet.
+        """
+        if self._shadow is None:
+            raise RuntimeError("no shadow candidate to promote")
+        report = self._shadow.report
+        if report.scored == 0:
+            raise RuntimeError("shadow window scored no decisions yet")
+        if report.mismatch_rate() > max_mismatch_rate:
+            return False
+        candidate = self._shadow_candidate
+        self._shadow = None
+        self._shadow_candidate = None
+        self.swap_model(candidate)
+        return True
+
+    def rollback(self) -> None:
+        """End the shadow window without swapping (keep the old model)."""
+        self._shadow = None
+        self._shadow_candidate = None

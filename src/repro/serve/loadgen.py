@@ -472,11 +472,14 @@ class ServeBenchResult:
     speedup: float
     fopt_mismatches: int
 
-    def to_record(self) -> dict:
-        """The ``BENCH_serve.json`` payload."""
+    def to_record(self, repeats: int = 1) -> dict:
+        """The ``BENCH_serve.json`` payload (envelope included)."""
+        from repro.experiments.reporting import bench_envelope
+
         report = self.report
         config = report.config
         return {
+            "envelope": bench_envelope("serve-bench", repeats=repeats),
             "devices": config.devices,
             "requests": config.requests,
             "target_qps": config.target_qps,
@@ -504,6 +507,7 @@ def run_serve_bench(
     harness_config: HarnessConfig | None = None,
     combos: Sequence[WorkloadCombo] | None = None,
     output_path: str | Path | None = None,
+    repeats: int = 1,
 ) -> ServeBenchResult:
     """Harvest traces, replay them batched and scalar, write the record.
 
@@ -513,14 +517,21 @@ def run_serve_bench(
         harness_config: Simulator config for trace harvesting.
         combos: Workloads to harvest (default: first six suite combos).
         output_path: Where to write the JSON record (``None`` skips).
+        repeats: Timed replay repetitions (each on a fresh service);
+            the best-throughput one is reported.
     """
     config = config or LoadgenConfig()
     harness_config = harness_config or HarnessConfig()
+    repeats = max(1, repeats)
     traces = harvest_traces(combos=combos, config=harness_config)
     requests = request_stream(traces, config)
 
-    generator = FleetLoadGenerator(predictor, config)
-    report = generator.run(traces)
+    report: LoadgenReport | None = None
+    for _ in range(repeats):
+        candidate = FleetLoadGenerator(predictor, config).run(traces)
+        if report is None or candidate.throughput_rps > report.throughput_rps:
+            report = candidate
+    assert report is not None
 
     scalar_fopts, scalar_s = scalar_decision_baseline(
         predictor,
@@ -546,7 +557,7 @@ def run_serve_bench(
     )
     if output_path is not None:
         Path(output_path).write_text(
-            json.dumps(result.to_record(), indent=2) + "\n"
+            json.dumps(result.to_record(repeats=repeats), indent=2) + "\n"
         )
     return result
 
@@ -588,11 +599,14 @@ class FleetBenchResult:
     fopt_mismatches_vs_single: int
     fopt_mismatches_vs_scalar: int
 
-    def to_record(self) -> dict:
-        """The ``BENCH_fleet.json`` payload."""
+    def to_record(self, repeats: int = 1) -> dict:
+        """The ``BENCH_fleet.json`` payload (envelope included)."""
+        from repro.experiments.reporting import bench_envelope
+
         fleet = self.fleet_report
         config = fleet.config
         return {
+            "envelope": bench_envelope("fleet-bench", repeats=repeats),
             "workers": self.workers,
             "mode": self.mode,
             "worker_restarts": self.worker_restarts,
@@ -633,6 +647,7 @@ def run_fleet_bench(
     skip_cache: bool = True,
     skip_tolerance: float = 0.0,
     output_path: str | Path | None = None,
+    repeats: int = 1,
 ) -> FleetBenchResult:
     """Replay one stream three ways -- fleet, single-process, scalar.
 
@@ -657,11 +672,15 @@ def run_fleet_bench(
         skip_tolerance: Skip-cache drift tolerance.
         output_path: Where to write ``BENCH_fleet.json`` (``None``
             skips).
+        repeats: Timed repetitions of the fleet and single-process
+            replays (each on a fresh service); the best-throughput run
+            of each is reported.
     """
     from repro.serve.fleet import FleetConfig, FleetDecisionService
 
     config = config or LoadgenConfig(requests=4096, revisit_period=16)
     harness_config = harness_config or HarnessConfig()
+    repeats = max(1, repeats)
     traces = harvest_traces(combos=combos, config=harness_config)
     requests = request_stream(traces, config)
 
@@ -672,7 +691,15 @@ def run_fleet_bench(
         requests[:warm], now=0.0
     )
 
-    single_report = FleetLoadGenerator(predictor, config).run(traces)
+    single_report: LoadgenReport | None = None
+    for _ in range(repeats):
+        candidate = FleetLoadGenerator(predictor, config).run(traces)
+        if (
+            single_report is None
+            or candidate.throughput_rps > single_report.throughput_rps
+        ):
+            single_report = candidate
+    assert single_report is not None
 
     fleet_config = FleetConfig(
         workers=workers,
@@ -685,11 +712,21 @@ def run_fleet_bench(
     # and an empty skip cache.
     with FleetDecisionService(predictor, fleet_config) as warm_fleet:
         warm_fleet.decide(requests[:warm], now=0.0)
-    with FleetDecisionService(predictor, fleet_config) as fleet:
-        generator = FleetLoadGenerator(predictor, config, service=fleet)
-        fleet_report = generator.run(traces)
-        mode = fleet.mode
-        restarts = fleet.worker_restarts()
+    fleet_report: LoadgenReport | None = None
+    mode = ""
+    restarts = 0
+    for _ in range(repeats):
+        with FleetDecisionService(predictor, fleet_config) as fleet:
+            generator = FleetLoadGenerator(predictor, config, service=fleet)
+            candidate = generator.run(traces)
+            if (
+                fleet_report is None
+                or candidate.throughput_rps > fleet_report.throughput_rps
+            ):
+                fleet_report = candidate
+                mode = fleet.mode
+                restarts = fleet.worker_restarts()
+    assert fleet_report is not None
 
     scalar_fopts, scalar_s = scalar_decision_baseline(
         predictor,
@@ -734,6 +771,6 @@ def run_fleet_bench(
     )
     if output_path is not None:
         Path(output_path).write_text(
-            json.dumps(result.to_record(), indent=2) + "\n"
+            json.dumps(result.to_record(repeats=repeats), indent=2) + "\n"
         )
     return result

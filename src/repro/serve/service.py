@@ -305,6 +305,42 @@ class DecisionService:
         return responses
 
     # ------------------------------------------------------------------
+    # Model hot-swap
+    # ------------------------------------------------------------------
+    def swap_predictor(
+        self, predictor, now: float | None = None
+    ) -> list[DecisionResponse]:
+        """Replace the decision kernel, flushing pending work first.
+
+        The swap is a batch boundary: every request submitted before
+        this call is evaluated with the *old* kernel (its responses are
+        returned), and every request submitted after it sees the new
+        one.  No ticket is dropped and ticket numbering continues
+        uninterrupted, so in-flight callers observe only that their
+        flush happened slightly early.
+
+        Args:
+            predictor: The replacement bundle (anything with a
+                ``batch_kernel()`` or accepted by
+                :meth:`BatchDoraPredictor.from_bundle`).
+            now: Service-clock time of the swap (defaults to the
+                clock), used for the forced flush.
+
+        Returns:
+            Responses for the requests that were pending at swap time,
+            decided by the outgoing kernel.
+        """
+        now = self.clock() if now is None else now
+        responses = self.flush(now)
+        kernel = getattr(predictor, "batch_kernel", None)
+        self.kernel = (
+            kernel() if callable(kernel) else BatchDoraPredictor.from_bundle(predictor)
+        )
+        order = self.kernel.selection_order
+        self._fmax_hz = float(self.kernel.freqs_hz[order[-1]])
+        return responses
+
+    # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
     def _evaluate(

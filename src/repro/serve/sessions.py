@@ -111,8 +111,52 @@ class SessionRegistry:
         return device_id in self._sessions
 
     def get(self, device_id: str) -> DeviceSession | None:
-        """The live session for a device, without refreshing it."""
+        """The stored session for a device, without refreshing it.
+
+        Pure dictionary lookup: a session silent past the TTL but not
+        yet swept by :meth:`evict_expired` is still returned.  Readers
+        that must not observe expired state (the fleet skip cache, whose
+        anchors replay cached *decisions*) go through :meth:`live`.
+        """
         return self._sessions.get(device_id)
+
+    def live(self, device_id: str, now: float | None = None) -> DeviceSession | None:
+        """The session for a device, ``None`` if absent *or expired*.
+
+        Eviction is lazy (:meth:`evict_expired` runs on flushes), so a
+        session can linger in the store after its TTL has elapsed.
+        Anything that *reads* session state -- in particular the skip
+        cache, which would otherwise replay a stale anchor recorded
+        before the device went silent -- must use this accessor: the
+        expiry check happens at read time, with the same exclusive
+        boundary the sweeper uses (exactly ``ttl_s`` of silence is
+        still live).
+        """
+        now = self.clock() if now is None else now
+        session = self._sessions.get(device_id)
+        if session is None or now - session.last_seen_s > self.ttl_s:
+            return None
+        return session
+
+    def clear_anchors(self) -> int:
+        """Drop every session's cached anchor response.
+
+        Called on a model hot-swap: anchors replay *decisions*, and a
+        decision cached under the old model must not short-circuit
+        requests the new model would answer differently.  Session
+        identity, counters and condition state survive -- only the
+        replayable responses go.
+
+        Returns:
+            The number of anchors cleared.
+        """
+        cleared = 0
+        for device_id in sorted(self._sessions):
+            session = self._sessions[device_id]
+            if session.last_response is not None:
+                session.last_response = None
+                cleared += 1
+        return cleared
 
     def active_ids(self) -> tuple[str, ...]:
         """Device ids with a live session, oldest-created first."""

@@ -85,6 +85,11 @@ def shard_service_loop(conn, predictor, config: ServiceConfig) -> None:
       with responses in submission order (positionally aligned with
       ``requests``), or ``("error", seq, message)`` if evaluation
       raised.
+    * ``("swap", seq, predictor)`` -> ``("swapped", seq)``.  Replaces
+      the service's decision kernel.  The pipe is FIFO, so every
+      ``decide`` sent before the swap is evaluated with the old model
+      and every one after it with the new: the swap is a batch
+      boundary by construction, and no ticket is ever dropped.
     * ``("stats", seq)`` -> ``("stats", seq, service_stats,
       active_sessions)``.
     * ``("stop",)`` -> exit the loop (no reply).
@@ -105,6 +110,13 @@ def shard_service_loop(conn, predictor, config: ServiceConfig) -> None:
             _, seq, now, requests = message
             try:
                 conn.send(("ok", seq, service.decide(list(requests), now)))
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
+        elif verb == "swap":
+            _, seq, new_predictor = message
+            try:
+                service.swap_predictor(new_predictor)
+                conn.send(("swapped", seq))
             except Exception as exc:  # noqa: BLE001 - report, don't die
                 conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
         elif verb == "stats":
@@ -139,6 +151,15 @@ class SerialShard:
     ) -> None:
         """Evaluate a sub-batch immediately (serial has no pipeline)."""
         self._ready.append((tickets, self.service.decide(requests, now)))
+
+    def swap(self, predictor: "DoraPredictor") -> None:
+        """Replace the shard's decision kernel immediately.
+
+        Serial dispatch evaluates synchronously, so every batch handed
+        over before this call has already been decided by the old model
+        -- the batch-boundary contract holds trivially.
+        """
+        self.service.swap_predictor(predictor)
 
     def inflight(self) -> int:
         """Batches dispatched but not yet collected."""
@@ -187,9 +208,15 @@ class ProcessShard:
         self.backoff_s = backoff_s
         self.restarts = 0
         self._seq = 0
-        #: seq -> (now, tickets, requests, attempts), insertion-ordered
-        #: so recovery re-dispatches in the original order.
-        self._inflight: dict[int, tuple[float, list[int], list, int]] = {}
+        self._config = config
+        #: seq -> tagged entry, insertion-ordered so recovery
+        #: re-dispatches in the original order.  Entries are either
+        #: ``("decide", now, tickets, requests, attempts)`` or
+        #: ``("swap", predictor, attempts)`` -- the tag keeps a
+        #: respawn-and-replay faithful to the original verb sequence,
+        #: so batches sent before a swap are still decided by the old
+        #: model even across a worker crash.
+        self._inflight: dict[int, tuple] = {}
         self._ready: list[tuple[list[int], list[DecisionResponse]]] = []
         self.worker = PersistentWorker(
             shard_service_loop,
@@ -208,9 +235,31 @@ class ProcessShard:
             self._pump(block=True)
         seq = self._seq
         self._seq += 1
-        self._inflight[seq] = (now, list(tickets), list(requests), 1)
+        self._inflight[seq] = ("decide", now, list(tickets), list(requests), 1)
         try:
             self.worker.send(("decide", seq, now, requests))
+        except (BrokenPipeError, OSError):
+            self._recover()
+
+    def swap(self, predictor: "DoraPredictor") -> None:
+        """Queue a model swap behind every batch already dispatched.
+
+        The request pipe is FIFO: the worker evaluates all earlier
+        ``decide`` messages with the old model before it sees the swap,
+        so the swap is a batch boundary without any drain or stall.
+        The worker's respawn args are updated only once the swap is
+        acknowledged -- a crash *before* the ack replays the tagged
+        verb sequence in order (old model for pre-swap batches, then
+        the swap, then post-swap batches), a crash *after* it respawns
+        straight onto the new model.
+        """
+        while len(self._inflight) >= MAX_INFLIGHT_BATCHES:
+            self._pump(block=True)
+        seq = self._seq
+        self._seq += 1
+        self._inflight[seq] = ("swap", predictor, 1)
+        try:
+            self.worker.send(("swap", seq, predictor))
         except (BrokenPipeError, OSError):
             self._recover()
 
@@ -285,7 +334,13 @@ class ProcessShard:
         if verb == "ok":
             entry = self._inflight.pop(seq, None)
             if entry is not None:
-                self._ready.append((entry[1], reply[2]))
+                self._ready.append((entry[2], reply[2]))
+        elif verb == "swapped":
+            entry = self._inflight.pop(seq, None)
+            if entry is not None:
+                # The worker now serves the new model; make a future
+                # respawn start from it instead of the original bundle.
+                self.worker.args = (entry[1], self._config)
         elif verb == "error":
             self._inflight.pop(seq, None)
             raise JobError(f"shard {self.index}: worker error: {reply[2]}")
@@ -295,22 +350,36 @@ class ProcessShard:
             raise JobError(f"shard {self.index}: unknown reply {verb!r}")
 
     def _recover(self) -> None:
-        """Respawn the worker and re-dispatch every in-flight batch."""
+        """Respawn the worker and re-send every in-flight verb in order."""
         retry = list(self._inflight.items())
-        for seq, (_, tickets, _requests, attempts) in retry:
+        for seq, entry in retry:
+            attempts = entry[-1]
             if attempts >= self.max_attempts:
+                what = (
+                    f"batch of {len(entry[2])}"
+                    if entry[0] == "decide"
+                    else "model swap"
+                )
                 raise JobError(
-                    f"shard {self.index}: worker crashed with batch of "
-                    f"{len(tickets)} still failing after {attempts} attempts"
+                    f"shard {self.index}: worker crashed with {what} "
+                    f"still failing after {attempts} attempts"
                 )
         self.restarts += 1
         time.sleep(self.backoff_s * (2 ** (self.restarts - 1)))
         self.worker.restart()
         self._inflight = {}
-        for seq, (now, tickets, requests, attempts) in retry:
-            self._inflight[seq] = (now, tickets, requests, attempts + 1)
+        for seq, entry in retry:
             try:
-                self.worker.send(("decide", seq, now, requests))
+                if entry[0] == "decide":
+                    _, now, tickets, requests, attempts = entry
+                    self._inflight[seq] = (
+                        "decide", now, tickets, requests, attempts + 1
+                    )
+                    self.worker.send(("decide", seq, now, requests))
+                else:
+                    _, predictor, attempts = entry
+                    self._inflight[seq] = ("swap", predictor, attempts + 1)
+                    self.worker.send(("swap", seq, predictor))
             except (BrokenPipeError, OSError):
                 self._recover()
                 return

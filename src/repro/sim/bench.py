@@ -237,7 +237,10 @@ def run_engine_bench(
             "speedup": (ref_ms / fast_ms) if fast_ms else 0.0,
         }
 
+    from repro.experiments.reporting import bench_envelope
+
     record = {
+        "envelope": bench_envelope("sim-bench", repeats=repeats),
         "repeats": repeats,
         "cases": rows,
         "campaign": aggregate([row for row in rows if row["campaign"]]),

@@ -58,6 +58,28 @@ def small_predictor(small_models):
     return small_models.predictor
 
 
+#: A deliberately different calibration: same pages and frequency
+#: grid as SMALL_TRAINING but a different seed and much noisier
+#: measurements, so its surfaces (and some of its fopt choices)
+#: disagree with ``small_predictor`` -- the property the model-swap
+#: tests need to tell "old model answered" from "new model answered".
+ALT_TRAINING = TrainingConfig(
+    pages=("amazon", "msn", "espn"),
+    freqs_hz=(729.6e6, 1190.4e6, 1728.0e6, 2265.6e6),
+    dt_s=0.004,
+    seed=11,
+    load_time_noise=0.08,
+    power_noise=0.10,
+)
+
+
+@pytest.fixture(scope="session")
+def alt_predictor():
+    """A predictor that visibly disagrees with ``small_predictor``."""
+    observations = run_campaign(ALT_TRAINING)
+    return train_models(observations).predictor
+
+
 @pytest.fixture(scope="session")
 def fast_config():
     """Harness config with a coarser engine step for integration tests."""

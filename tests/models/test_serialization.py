@@ -3,6 +3,8 @@
 import json
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.browser.dom import PageFeatures
 from repro.models.serialization import (
@@ -44,6 +46,55 @@ class TestRoundTrip:
         assert data["format"] == "repro-dora-models"
         assert "load_time_model" in data
         assert "leakage" in data
+
+
+@pytest.fixture(scope="module")
+def rebuilt_predictor(small_predictor):
+    """One dict round trip, shared across every property example."""
+    return predictor_from_dict(predictor_to_dict(small_predictor))
+
+
+class TestRoundTripProperty:
+    """JSON floats round-trip exactly (repr emits the shortest string
+    that parses back to the same double), so a persisted model must be
+    *bit-identical* to the original -- the property the learn registry
+    and the closed-loop retraining invariant build on."""
+
+    @given(
+        census=st.builds(
+            PageFeatures,
+            dom_nodes=st.integers(100, 9000),
+            class_attributes=st.integers(0, 2000),
+            href_attributes=st.integers(0, 1500),
+            a_tags=st.integers(0, 1500),
+            div_tags=st.integers(0, 3000),
+        ),
+        mpki=st.floats(0.0, 20.0),
+        util=st.floats(0.0, 1.0),
+        temp=st.floats(20.0, 80.0),
+    )
+    def test_bit_identical_on_the_page_frequency_grid(
+        self, small_predictor, rebuilt_predictor, census, mpki, util, temp
+    ):
+        for freq_hz in small_predictor.candidates():
+            original = small_predictor.predict_at(
+                census, mpki, util, temp, freq_hz
+            )
+            restored = rebuilt_predictor.predict_at(
+                census, mpki, util, temp, freq_hz
+            )
+            # Equality, not approx: the round trip may not move a bit.
+            assert restored.load_time_s == original.load_time_s
+            assert restored.power_w == original.power_w
+
+    @given(temp=st.floats(20.0, 90.0))
+    def test_leakage_round_trips_bit_for_bit(
+        self, small_predictor, rebuilt_predictor, temp
+    ):
+        for state in small_predictor.spec.evaluation_states():
+            assert rebuilt_predictor.leakage_model.predict(
+                state.voltage_v, temp
+            ) == small_predictor.leakage_model.predict(state.voltage_v, temp)
 
 
 class TestValidation:

@@ -204,6 +204,32 @@ class TestSkipCache:
             assert fleet.stats.skips_total == 0
             assert again.fopt_hz == first.fopt_hz  # same vector, same bits
 
+    def test_returning_device_never_replays_a_stale_anchor(
+        self, small_predictor
+    ):
+        """Regression: a device returning after more than a TTL of
+        silence must re-evaluate, even though lazy eviction has not
+        removed its session yet."""
+        clock = _Clock()
+        fleet = _small_fleet(
+            small_predictor,
+            clock=clock,
+            service=ServiceConfig(max_batch_size=1, session_ttl_s=5.0),
+        )
+        with fleet:
+            request = _request("sleeper")
+            [first] = fleet.decide([request])
+            clock.now = 5.0  # exactly the TTL: the anchor is still live
+            [hit] = fleet.decide([request])
+            assert hit.trace.skipped
+            clock.now = 11.0  # silent past the TTL since the refresh
+            [stale] = fleet.decide([request])
+            assert not stale.trace.skipped  # re-evaluated, not replayed
+            assert stale.fopt_hz == first.fopt_hz  # same vector, same bits
+            # The fresh evaluation re-anchors: the *next* request hits.
+            [again] = fleet.decide([request])
+            assert again.trace.skipped
+
     @given(
         mpki=st.floats(0.0, 20.0),
         util=st.floats(0.0, 1.0),

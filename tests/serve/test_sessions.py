@@ -138,6 +138,71 @@ class TestTtlEviction:
         assert session.last_response is anchor
 
 
+class TestLiveReads:
+    """TTL enforcement at read time: eviction is lazy, ``live`` is not."""
+
+    def test_live_inside_the_ttl(self, registry, clock):
+        session = registry.touch("phone-1")
+        clock.now = 9.0
+        assert registry.live("phone-1") is session
+
+    def test_boundary_matches_the_sweeper(self, registry, clock):
+        # Exactly the TTL of silence: the sweeper keeps it, so a read
+        # must too -- the two rules share the exclusive boundary.
+        registry.touch("edge")
+        clock.now = 10.0
+        assert registry.live("edge") is not None
+        clock.now = 10.0001
+        assert registry.live("edge") is None
+
+    def test_expired_session_is_dead_before_eviction_runs(
+        self, registry, clock
+    ):
+        registry.touch("phone-1")
+        clock.now = 11.0
+        # The sweeper has not run: the store still holds the session...
+        assert registry.get("phone-1") is not None
+        # ... but a TTL-aware read must not resurrect it.  This is the
+        # skip-cache staleness hole: lookup via ``get`` would replay an
+        # anchor the TTL already declared dead.
+        assert registry.live("phone-1") is None
+
+    def test_unknown_device(self, registry):
+        assert registry.live("missing") is None
+
+    def test_explicit_now_overrides_the_clock(self, registry, clock):
+        registry.touch("phone-1")
+        clock.now = 50.0
+        assert registry.live("phone-1", now=5.0) is not None
+
+
+class TestAnchorClearing:
+    def test_clear_anchors_counts_only_anchored_sessions(self, registry):
+        page = page_by_name("amazon").features
+        registry.record_decision(
+            "anchored",
+            page=page,
+            corunner_mpki=3.0,
+            corunner_utilization=0.4,
+            temperature_c=52.0,
+            freq_hz=1.19e9,
+            response=object(),
+        )
+        registry.record_decision(
+            "plain",
+            page=page,
+            corunner_mpki=3.0,
+            corunner_utilization=0.4,
+            temperature_c=52.0,
+            freq_hz=1.19e9,
+        )
+        assert registry.clear_anchors() == 1
+        assert registry.get("anchored").last_response is None
+        # Sessions survive; only the replayable responses are dropped.
+        assert "anchored" in registry
+        assert registry.clear_anchors() == 0
+
+
 class TestEvictionCost:
     """The satellite-1 bound: eviction work scales with what expired."""
 

@@ -159,6 +159,73 @@ class TestProcessShard:
             shard.close()
 
 
+def _varied(count=6):
+    return [_request(f"d{i}", mpki=0.5 + 1.1 * i) for i in range(count)]
+
+
+class TestModelSwap:
+    """The swap verb is a batch boundary: it never changes the decisions
+    of tickets already handed to the shard."""
+
+    def test_serial_swap_respects_dispatch_order(
+        self, small_predictor, alt_predictor
+    ):
+        requests = _varied()
+        old = DecisionService(small_predictor).decide(requests, now=0.0)
+        new = DecisionService(alt_predictor).decide(requests, now=0.0)
+        assert [r.fopt_hz for r in old] != [r.fopt_hz for r in new]
+        shard = SerialShard(0, small_predictor, ServiceConfig())
+        shard.dispatch(list(range(6)), requests, now=0.0)
+        shard.swap(alt_predictor)
+        shard.dispatch(list(range(6, 12)), requests, now=1.0)
+        [(_, before), (_, after)] = shard.drain()
+        assert [r.fopt_hz for r in before] == [r.fopt_hz for r in old]
+        assert [r.fopt_hz for r in after] == [r.fopt_hz for r in new]
+
+    def test_pipe_swap_lands_behind_inflight_batches(
+        self, small_predictor, alt_predictor, force_pool
+    ):
+        requests = _varied()
+        old = DecisionService(small_predictor).decide(requests, now=0.0)
+        new = DecisionService(alt_predictor).decide(requests, now=0.0)
+        shard = ProcessShard(0, small_predictor, ServiceConfig())
+        try:
+            # The batch is in the pipe, not yet collected, when the swap
+            # verb goes out; FIFO ordering must keep it on the old model.
+            shard.dispatch(list(range(6)), requests, now=0.0)
+            shard.swap(alt_predictor)
+            shard.dispatch(list(range(6, 12)), requests, now=1.0)
+            results = shard.drain()
+        finally:
+            shard.close()
+        by_ticket = {tickets[0]: responses for tickets, responses in results}
+        assert [r.fopt_hz for r in by_ticket[0]] == [r.fopt_hz for r in old]
+        assert [r.fopt_hz for r in by_ticket[6]] == [r.fopt_hz for r in new]
+
+    def test_crash_recovery_replays_the_swap_in_order(
+        self, small_predictor, alt_predictor, force_pool
+    ):
+        requests = _varied()
+        old = DecisionService(small_predictor).decide(requests, now=0.0)
+        new = DecisionService(alt_predictor).decide(requests, now=0.0)
+        shard = ProcessShard(0, small_predictor, ServiceConfig(), backoff_s=0.0)
+        try:
+            shard.dispatch(list(range(6)), requests, now=0.0)
+            shard.swap(alt_predictor)
+            shard.dispatch(list(range(6, 12)), requests, now=1.0)
+            # Kill the worker with all three verbs potentially unanswered:
+            # recovery must replay batch, swap, batch in insertion order.
+            shard.worker._process.kill()
+            shard.worker._process.join(5.0)
+            results = shard.drain()
+        finally:
+            shard.close()
+        assert shard.restarts >= 1
+        by_ticket = {tickets[0]: responses for tickets, responses in results}
+        assert [r.fopt_hz for r in by_ticket[0]] == [r.fopt_hz for r in old]
+        assert [r.fopt_hz for r in by_ticket[6]] == [r.fopt_hz for r in new]
+
+
 class TestMakeShards:
     def test_builds_the_requested_kind(self, small_predictor, monkeypatch):
         serial = make_shards(
