@@ -275,7 +275,7 @@ class WallClockRule(Rule):
 
     #: Benchmark/telemetry modules inside the restricted trees that
     #: legitimately time themselves.
-    allowlist = ("sim/bench.py",)
+    allowlist = ("sim/bench.py", "sim/fleet_bench.py")
 
     _banned = {
         "time.time",

@@ -45,6 +45,7 @@ __all__ = [
     "default_telemetry_store",
     "default_trained_models",
     "make_decision_service",
+    "make_fleet_engine",
     "make_fleet_service",
     "model_fingerprint",
     "quick_run",
@@ -199,6 +200,34 @@ def make_fleet_service(
             skip_cache=skip_cache,
             skip_tolerance=skip_tolerance,
         ),
+    )
+
+
+def make_fleet_engine(
+    rows: int = 256,
+    seed: int = 0,
+    record_trace: bool = False,
+):
+    """A ready :class:`repro.sim.FleetEngine` over a standard fleet.
+
+    Builds a deterministic heterogeneous device population
+    (:func:`repro.sim.fleet_engine.heterogeneous_fleet`: pages,
+    co-runners, operating points, governors, ambient conditions and
+    step sizes all vary across rows) and wraps it in the
+    struct-of-arrays lockstep engine.  ``run()`` returns one
+    :class:`~repro.sim.engine.RunResult` per row, each bit-identical
+    to simulating that device alone.
+
+    Args:
+        rows: Fleet size.
+        seed: Fleet assignment seed (same ``(rows, seed)`` -- same
+            fleet).
+        record_trace: Keep per-step time series on every row.
+    """
+    from repro.sim.fleet_engine import FleetEngine, heterogeneous_fleet
+
+    return FleetEngine(
+        rows=heterogeneous_fleet(rows, seed=seed, record_trace=record_trace)
     )
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import subprocess
+import sys
 from typing import Any, Iterable, Sequence
 
 #: Schema tag of the shared benchmark-report envelope.
@@ -54,17 +55,32 @@ def bench_envelope(
 
     Returns:
         ``{"schema", "command", "git_sha", "calibration",
-        "host_cpu_count", "repeats", ...extra}``; ``calibration`` is
+        "host_cpu_count", "degraded_host", "repeats", ...extra}``;
+        ``calibration`` is
         :func:`repro.experiments.fingerprint.calibration_identity`.
+        ``degraded_host`` is true on single-CPU hosts, where
+        concurrency and vectorization speedups are structurally
+        unavailable -- comparisons against multi-core acceptance bars
+        (e.g. a sub-1.0 "speedup" in ``BENCH_runtime.json``) must not
+        be read as regressions.
     """
     from repro.experiments.fingerprint import calibration_identity
 
+    cpu_count = os.cpu_count() or 1
+    degraded = cpu_count == 1
+    if degraded:
+        print(
+            f"warning: {command}: single-CPU host -- marking the bench "
+            "envelope degraded_host; speedup bars do not apply here",
+            file=sys.stderr,
+        )
     envelope: dict[str, Any] = {
         "schema": BENCH_ENVELOPE_SCHEMA,
         "command": command,
         "git_sha": git_revision(),
         "calibration": calibration_identity(),
-        "host_cpu_count": os.cpu_count() or 1,
+        "host_cpu_count": cpu_count,
+        "degraded_host": degraded,
         "repeats": repeats,
     }
     if extra:

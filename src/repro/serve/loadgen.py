@@ -14,6 +14,21 @@ scalar per-request baseline over the identical stream, a full
 fopt-equality cross-check between the two, and a ``BENCH_serve.json``
 record with p50/p95/p99 latency, throughput and the batched-vs-scalar
 speedup.
+
+Two trace sources feed the replays:
+
+* :func:`harvest_traces` -- the original pre-harvested path: one
+  cached simulator run per combo, observations replayed on a uniform
+  virtual arrival clock.
+* :func:`twin_traces` + :func:`twin_request_schedule` -- the *digital
+  twin* path: the combo population is simulated live in one
+  :class:`~repro.sim.fleet_engine.FleetEngine` pass (never cached),
+  and each request's virtual arrival comes from its device's own
+  decision-epoch timestamp, so the service sees the bursty arrival
+  pattern a real fleet produces instead of a uniform drip.  Because
+  fleet rows are bit-identical to single-device runs, the twin's
+  request *contents* equal the harvested path's exactly -- only the
+  arrival process differs.
 """
 
 from __future__ import annotations
@@ -26,6 +41,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.browser.browser import browser_tasks
 from repro.browser.dom import PageFeatures
 from repro.browser.pages import page_by_name
 from repro.core.governors import InteractiveGovernor
@@ -39,8 +55,12 @@ from repro.serve.service import (
     DecisionService,
     ServiceConfig,
 )
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.fleet_engine import FleetEngine
 from repro.sim.governor import Governor, RunContext
 from repro.soc.counters import CounterSample
+from repro.soc.device import Device
+from repro.workloads.kernels import kernel_by_name, kernel_task
 
 
 @dataclass(frozen=True)
@@ -165,6 +185,72 @@ def harvest_traces(
     return memoized("serve-traces", key, build)
 
 
+def _twin_row_engine(
+    combo: WorkloadCombo, config: HarnessConfig, recorder: Governor
+) -> Engine:
+    """One fleet row built exactly as :func:`run_workload` builds it."""
+    device = Device(config.device)
+    page = page_by_name(combo.page_name)
+    tasks = browser_tasks(page).as_list()
+    if combo.kernel_name is not None:
+        tasks.append(kernel_task(kernel_by_name(combo.kernel_name)))
+    return Engine(
+        device=device,
+        tasks=tasks,
+        governor=recorder,
+        context=RunContext(
+            spec=device.spec,
+            deadline_s=config.deadline_s,
+            page_features=page.features,
+        ),
+        config=EngineConfig(
+            dt_s=config.dt_s, max_time_s=config.max_time_s, engine="fast"
+        ),
+    )
+
+
+def twin_traces(
+    combos: Sequence[WorkloadCombo] | None = None,
+    config: HarnessConfig | None = None,
+    max_observations: int = 64,
+) -> list[DeviceTrace]:
+    """Simulate the combo population live and keep its counters.
+
+    The digital-twin counterpart of :func:`harvest_traces`: the same
+    recording governor per combo, but every device advances in one
+    :class:`~repro.sim.fleet_engine.FleetEngine` lockstep pass, and
+    nothing is cached -- each call *is* a fresh fleet simulation.
+    Because fleet rows are bit-identical to single-device runs, the
+    returned observations equal the harvested path's exactly (asserted
+    by ``tests/serve/test_twin_loadgen.py``); what the twin adds is the
+    per-device decision-epoch timing that
+    :func:`twin_request_schedule` turns into live arrivals.
+    """
+    config = config or HarnessConfig()
+    combos = tuple(combos) if combos is not None else all_combos()[:6]
+    recorders = [_RecordingGovernor(InteractiveGovernor()) for _ in combos]
+    engines = [
+        _twin_row_engine(combo, config, recorder)
+        for combo, recorder in zip(combos, recorders)
+    ]
+    FleetEngine(engines=engines).run()
+    traces: list[DeviceTrace] = []
+    for combo, recorder in zip(combos, recorders):
+        observations = tuple(recorder.observations[:max_observations])
+        if not observations:
+            observations = (_COLD_OBSERVATION,)
+        traces.append(
+            DeviceTrace(
+                page_name=combo.page_name,
+                kernel_name=combo.kernel_name,
+                page=page_by_name(combo.page_name).features,
+                deadline_s=config.deadline_s,
+                observations=observations,
+            )
+        )
+    return traces
+
+
 @dataclass(frozen=True)
 class LoadgenConfig:
     """Fleet-replay parameters.
@@ -263,6 +349,72 @@ def request_stream(
             )
         )
     return requests
+
+
+def twin_request_schedule(
+    traces: Sequence[DeviceTrace], config: LoadgenConfig
+) -> list[tuple[float, DecisionRequest]]:
+    """Live fleet arrivals: requests timed by their devices' epochs.
+
+    Builds the same per-device request *contents* as
+    :func:`request_stream` (device ``d`` replays trace
+    ``d % len(traces)``, revisit semantics included), but instead of a
+    uniform ``1 / target_qps`` drip, each request's virtual arrival is
+    its observation's decision-epoch timestamp inside its device's own
+    trajectory (cycling past a trace's end appends another full
+    trajectory span).  The merged per-device timelines are then scaled
+    so the whole replay still spans ``requests / target_qps`` virtual
+    seconds -- same offered load, live burstiness: devices whose
+    decision epochs coincide arrive together, and revisit duplicates
+    arrive back-to-back with their window.
+
+    Returns:
+        ``(arrival_s, request)`` pairs in non-decreasing arrival order
+        (ties broken by submission index, so the order is fully
+        deterministic).
+    """
+    if not traces:
+        raise ValueError("need at least one device trace")
+    entries: list[tuple[float, int, DecisionRequest]] = []
+    for index in range(config.requests):
+        device = index % config.devices
+        trace = traces[device % len(traces)]
+        step = index // config.devices
+        if config.revisit_period > 1:
+            step //= config.revisit_period
+        count = len(trace.observations)
+        observation = trace.observations[step % count]
+        raw_s = observation.time_s + trace.observations[-1].time_s * (
+            step // count
+        )
+        deadline_s = trace.deadline_s
+        if (
+            config.tight_deadline_every > 0
+            and (index + 1) % config.tight_deadline_every == 0
+        ):
+            deadline_s = _TIGHT_DEADLINE_S
+        entries.append(
+            (
+                raw_s,
+                index,
+                DecisionRequest(
+                    device_id=f"device-{device:04d}",
+                    page=trace.page,
+                    corunner_mpki=observation.corunner_mpki,
+                    corunner_utilization=observation.corunner_utilization,
+                    temperature_c=observation.temperature_c,
+                    deadline_s=deadline_s,
+                ),
+            )
+        )
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+    first_s = entries[0][0]
+    span_s = entries[-1][0] - first_s
+    duration_s = config.requests / config.target_qps
+    scale = duration_s / span_s if span_s > 0 else 0.0
+    return [
+        ((raw_s - first_s) * scale, request) for raw_s, _, request in entries
+    ]
 
 
 @dataclass(frozen=True)
@@ -376,10 +528,31 @@ class FleetLoadGenerator:
             clock=lambda: self._virtual_now,
         )
 
-    def run(self, traces: Sequence[DeviceTrace]) -> LoadgenReport:
-        """Submit the whole stream and collect the report."""
-        requests = request_stream(traces, self.config)
+    def run(
+        self,
+        traces: Sequence[DeviceTrace],
+        schedule: Sequence[tuple[float, DecisionRequest]] | None = None,
+    ) -> LoadgenReport:
+        """Submit the whole stream and collect the report.
+
+        Args:
+            traces: Device traces to derive the uniform-clock stream
+                from (ignored when ``schedule`` is given).
+            schedule: Optional explicit ``(arrival_s, request)`` pairs
+                in non-decreasing arrival order -- the digital-twin
+                path (:func:`twin_request_schedule`).  ``None`` keeps
+                the uniform ``1 / target_qps`` virtual clock over
+                :func:`request_stream`.
+        """
         gap_s = 1.0 / self.config.target_qps
+        if schedule is None:
+            requests = request_stream(traces, self.config)
+            arrivals = [index * gap_s for index in range(len(requests))]
+        else:
+            requests = [request for _, request in schedule]
+            arrivals = [arrival_s for arrival_s, _ in schedule]
+            if not requests:
+                raise ValueError("need at least one scheduled request")
         submitted_at: dict[int, float] = {}
         latencies: list[float] = []
         responses: list[DecisionResponse] = []
@@ -391,7 +564,7 @@ class FleetLoadGenerator:
 
         wall_start = time.perf_counter()
         for index, request in enumerate(requests):
-            self._virtual_now = index * gap_s
+            self._virtual_now = arrivals[index]
             drained = self.service.poll(self._virtual_now)
             if drained:
                 collect(drained, time.perf_counter())
@@ -399,7 +572,10 @@ class FleetLoadGenerator:
             answered = self.service.submit(request, self._virtual_now)
             if answered:
                 collect(answered, time.perf_counter())
-        self._virtual_now = len(requests) * gap_s + self.config.max_wait_s
+        if schedule is None:
+            self._virtual_now = len(requests) * gap_s + self.config.max_wait_s
+        else:
+            self._virtual_now = arrivals[-1] + gap_s + self.config.max_wait_s
         collect(self.service.flush(self._virtual_now), time.perf_counter())
         wall_s = time.perf_counter() - wall_start
 
@@ -585,6 +761,8 @@ class FleetBenchResult:
             single-process fopt disagree (must be zero).
         fopt_mismatches_vs_scalar: Requests where fleet and scalar
             fopt disagree (must be zero).
+        trace_source: ``"harvest"`` (cached traces, uniform arrivals)
+            or ``"twin"`` (live fleet simulation, epoch arrivals).
     """
 
     fleet_report: LoadgenReport
@@ -598,6 +776,7 @@ class FleetBenchResult:
     speedup_vs_scalar: float
     fopt_mismatches_vs_single: int
     fopt_mismatches_vs_scalar: int
+    trace_source: str = "harvest"
 
     def to_record(self, repeats: int = 1) -> dict:
         """The ``BENCH_fleet.json`` payload (envelope included)."""
@@ -607,6 +786,7 @@ class FleetBenchResult:
         config = fleet.config
         return {
             "envelope": bench_envelope("fleet-bench", repeats=repeats),
+            "trace_source": self.trace_source,
             "workers": self.workers,
             "mode": self.mode,
             "worker_restarts": self.worker_restarts,
@@ -648,6 +828,7 @@ def run_fleet_bench(
     skip_tolerance: float = 0.0,
     output_path: str | Path | None = None,
     repeats: int = 1,
+    trace_source: str = "harvest",
 ) -> FleetBenchResult:
     """Replay one stream three ways -- fleet, single-process, scalar.
 
@@ -675,14 +856,30 @@ def run_fleet_bench(
         repeats: Timed repetitions of the fleet and single-process
             replays (each on a fresh service); the best-throughput run
             of each is reported.
+        trace_source: ``"harvest"`` replays cached traces on the
+            uniform virtual clock; ``"twin"`` simulates the combo
+            population live (:func:`twin_traces`) and replays on its
+            epoch-derived arrival schedule
+            (:func:`twin_request_schedule`).  Request contents are
+            identical either way (fleet rows are bit-identical to the
+            harvest runs), so the zero-mismatch cross-checks hold for
+            both.
     """
     from repro.serve.fleet import FleetConfig, FleetDecisionService
 
+    if trace_source not in ("harvest", "twin"):
+        raise KeyError(f"unknown trace source {trace_source!r}")
     config = config or LoadgenConfig(requests=4096, revisit_period=16)
     harness_config = harness_config or HarnessConfig()
     repeats = max(1, repeats)
-    traces = harvest_traces(combos=combos, config=harness_config)
-    requests = request_stream(traces, config)
+    schedule: list[tuple[float, DecisionRequest]] | None = None
+    if trace_source == "twin":
+        traces = twin_traces(combos=combos, config=harness_config)
+        schedule = twin_request_schedule(traces, config)
+        requests = [request for _, request in schedule]
+    else:
+        traces = harvest_traces(combos=combos, config=harness_config)
+        requests = request_stream(traces, config)
 
     # Warm both code paths (kernel construction, NumPy dispatch) on a
     # short prefix so neither timed replay pays first-call costs.
@@ -693,7 +890,9 @@ def run_fleet_bench(
 
     single_report: LoadgenReport | None = None
     for _ in range(repeats):
-        candidate = FleetLoadGenerator(predictor, config).run(traces)
+        candidate = FleetLoadGenerator(predictor, config).run(
+            traces, schedule=schedule
+        )
         if (
             single_report is None
             or candidate.throughput_rps > single_report.throughput_rps
@@ -718,7 +917,7 @@ def run_fleet_bench(
     for _ in range(repeats):
         with FleetDecisionService(predictor, fleet_config) as fleet:
             generator = FleetLoadGenerator(predictor, config, service=fleet)
-            candidate = generator.run(traces)
+            candidate = generator.run(traces, schedule=schedule)
             if (
                 fleet_report is None
                 or candidate.throughput_rps > fleet_report.throughput_rps
@@ -768,6 +967,7 @@ def run_fleet_bench(
         ),
         fopt_mismatches_vs_single=mismatches_single,
         fopt_mismatches_vs_scalar=mismatches_scalar,
+        trace_source=trace_source,
     )
     if output_path is not None:
         Path(output_path).write_text(

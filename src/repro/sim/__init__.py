@@ -5,6 +5,8 @@
 * :mod:`repro.sim.engine` -- the time-stepped simulator that couples
   tasks, the shared cache, memory contention, power, thermals and a
   frequency governor.
+* :mod:`repro.sim.fleet_engine` -- struct-of-arrays lockstep advance of
+  many heterogeneous device simulations.
 * :mod:`repro.sim.trace` -- time-series recording.
 * :mod:`repro.sim.measurement` -- DAQ-like energy integration, PPW, and
   measurement noise.
@@ -12,6 +14,12 @@
 
 from repro.sim.task import Task, WorkPhase
 from repro.sim.engine import Engine, EngineConfig, ReferenceEngine, RunResult
+from repro.sim.fleet_engine import (
+    FleetEngine,
+    FleetRowSpec,
+    build_row_engine,
+    heterogeneous_fleet,
+)
 
 __all__ = [
     "Task",
@@ -20,4 +28,8 @@ __all__ = [
     "EngineConfig",
     "ReferenceEngine",
     "RunResult",
+    "FleetEngine",
+    "FleetRowSpec",
+    "build_row_engine",
+    "heterogeneous_fleet",
 ]

@@ -322,6 +322,29 @@ class _RegimeTemplate:
 
 
 @dataclass
+class _RegimePlan:
+    """One validated bulk regime, ready to execute.
+
+    Produced by :meth:`Engine._plan_regime`, consumed by
+    :meth:`Engine._run_regime` (scalar thermal integration) or by
+    :class:`repro.sim.fleet_engine.FleetEngine` (which integrates many
+    rows' thermal recurrences in one vectorized sweep).  ``series`` is
+    a view into the loop's scratch buffer: it stays valid only until
+    the next plan on the same loop, so a plan must be executed before
+    its row plans again.
+    """
+
+    state: object
+    running: list[Task]
+    template: _RegimeTemplate
+    series: np.ndarray
+    n: int
+    last: list[float]
+    decision_due: bool
+    clamped: bool
+
+
+@dataclass
 class Engine:
     """Drives one run: a device, a task set, and a governor."""
 
@@ -647,22 +670,24 @@ class Engine:
             per_core_power=per_core_power,
         )
 
-    def _run_regime(self, loop: _LoopState) -> int:
-        """Bulk-execute the steps to the next event.
+    def _plan_regime(self, loop: _LoopState) -> _RegimePlan | None:
+        """Plan (and validate) the bulk steps to the next event.
 
-        Returns the number of steps executed; 0 means this iteration is
-        not bulkable (pending stall, an event within the next couple of
-        steps, no runnable tasks) and the caller should take the
-        single-step path.
+        Returns ``None`` when this iteration is not bulkable (pending
+        stall, an event within the next couple of steps, no runnable
+        tasks) and the caller should take the single-step path.  A
+        returned plan has already advanced the planning table; only the
+        thermal integration and the write-back
+        (:meth:`_execute_plan`) remain.
         """
         if loop.pending_stall_s > 0:
-            return 0
+            return None
         device = self.device
         dt = loop.dt
         state = device.state
         running = [task for task in self.tasks if task.running]
         if not running:
-            return 0
+            return None
         key = (
             state.freq_hz,
             tuple((task.task_id, task.phase_index) for task in running),
@@ -706,7 +731,7 @@ class Engine:
             # caller falls through to a _step right now -- skip the
             # doomed re-attempts for the n steps after it.
             loop.regime_cooldown = n
-            return 0
+            return None
         clamped = n > _MAX_REGIME_STEPS
         if clamped:
             n = _MAX_REGIME_STEPS
@@ -784,22 +809,31 @@ class Engine:
             n -= 1
         if n < _MIN_REGIME_STEPS:
             loop.regime_cooldown = n
+            return None
+        return _RegimePlan(
+            state=state,
+            running=running,
+            template=template,
+            series=series,
+            n=n,
+            last=last,
+            decision_due=last[1] + 1e-12 >= interval,
+            clamped=clamped,
+        )
+
+    def _run_regime(self, loop: _LoopState) -> int:
+        """Bulk-execute the steps to the next event.
+
+        Returns the number of steps executed; 0 means this iteration is
+        not bulkable and the caller should take the single-step path.
+        """
+        regime = self._plan_regime(loop)
+        if regime is None:
             return 0
-        decision_due = last[1] + 1e-12 >= interval
-
-        # Execute the regime.  Phase-entry stamps land at the regime's
-        # first step, exactly where the reference stamps them.
-        record = self.config.record_trace
-        for task in running:
-            if loop.last_phase[task.task_id] != task.phase_index:
-                loop.last_phase[task.task_id] = task.phase_index
-                if record:
-                    loop.trace.phase_starts.append(
-                        (loop.time_s, task.task_id, task.current_phase.name)
-                    )
-
-        leak_w, total_w, temp_c = device.thermal.integrate_regime(
-            steps=n,
+        template = regime.template
+        dt = loop.dt
+        leak_w, total_w, temp_c = self.device.thermal.integrate_regime(
+            steps=regime.n,
             dt_s=dt,
             non_leakage_soc_w=template.non_leakage_w,
             rest_of_device_w=template.rest_of_device_w,
@@ -811,6 +845,47 @@ class Engine:
         for power, temperature in zip(total_w, temp_c):
             energy_j += power * dt
             temperature_integral += temperature * dt
+        self._execute_plan(
+            loop, regime, leak_w, total_w, temp_c,
+            energy_j, temperature_integral,
+        )
+        return regime.n
+
+    def _execute_plan(
+        self,
+        loop: _LoopState,
+        regime: _RegimePlan,
+        leak_w,
+        total_w,
+        temp_c,
+        energy_j: float,
+        temperature_integral: float,
+    ) -> None:
+        """Commit an integrated regime: tables, trace, decision point.
+
+        ``leak_w`` / ``total_w`` / ``temp_c`` are the regime's thermal
+        series -- integrated scalar by :meth:`_run_regime` or across
+        rows by the fleet engine, bit-identical either way -- and
+        ``energy_j`` / ``temperature_integral`` the accumulators
+        already advanced over them.  The device's thermal state must
+        already hold the regime's end temperature.
+        """
+        state = regime.state
+        running = regime.running
+        last = regime.last
+        n = regime.n
+        template = regime.template
+
+        # Phase-entry stamps land at the regime's first step, exactly
+        # where the reference stamps them.
+        record = self.config.record_trace
+        for task in running:
+            if loop.last_phase[task.task_id] != task.phase_index:
+                loop.last_phase[task.task_id] = task.phase_index
+                if record:
+                    loop.trace.phase_starts.append(
+                        (loop.time_s, task.task_id, task.current_phase.name)
+                    )
         loop.energy_j = energy_j
         loop.temperature_integral = temperature_integral
 
@@ -830,13 +905,13 @@ class Engine:
                 l2_accesses=last[row + 8],
                 l2_misses=last[row + 9],
             )
-        counters.install_window(last[2], windows)
+        self.device.counters.install_window(last[2], windows)
         loop.time_s = last[0]
         loop.window_s = last[1]
 
         if record:
             loop.trace.record_block(
-                times_s=series[0, 1 : n + 1],
+                times_s=regime.series[0, 1 : n + 1],
                 freq_hz=state.freq_hz,
                 total_power_w=total_w,
                 core_dynamic_w=template.core_dynamic_w,
@@ -847,15 +922,14 @@ class Engine:
         # No completion is possible inside a regime (a finish implies a
         # phase crossing, which ends the regime beforehand), so the
         # only post-step action left is the decision point.
-        if decision_due:
+        if regime.decision_due:
             self._decide(loop, state)
-        elif not clamped:
+        elif not regime.clamped:
             # The regime ended for a reason other than a decision or the
             # planning-horizon clamp, so the very next step hits a phase
             # crossing (or the timeout, which ends the loop anyway): a
             # fresh attempt would only rediscover that and fail.
             loop.regime_cooldown = 1
-        return n
 
 
 @dataclass

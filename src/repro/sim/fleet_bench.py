@@ -1,0 +1,166 @@
+"""Fleet-simulation throughput benchmark: vectorized vs per-device.
+
+Times :class:`~repro.sim.fleet_engine.FleetEngine` against the plain
+per-device loop (one fast :class:`~repro.sim.engine.Engine` ``run()``
+per row) on deterministic heterogeneous fleets
+(:func:`~repro.sim.fleet_engine.heterogeneous_fleet`) of increasing
+size, reporting rows-per-second and the fleet-over-loop speedup at
+each row count.
+
+Both sides simulate *identical* devices, and every timed pairing is
+also checked for field-exact result equality -- the speedup is only
+meaningful because the fleet rows are bit-identical to single-device
+runs (``tests/sim/test_fleet_engine.py`` holds the exhaustive
+``ReferenceEngine`` version of that contract).
+
+The cross-row win amortizes the regime-interior thermal/leakage
+recurrence (one struct-of-arrays column sweep instead of one Python
+loop per device), so the speedup grows with row count; the
+event-adjacent scalar work is identical on both sides by design.  On
+single-CPU hosts the envelope is marked ``degraded_host`` and the
+acceptance bar relaxes to equality-only (see
+``benchmarks/test_fleetsim_throughput.py``).
+
+Used by ``benchmarks/test_fleetsim_throughput.py`` (writes
+``BENCH_fleetsim.json``) and the ``repro fleetsim-bench`` CLI command.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.sim.engine import RunResult
+from repro.sim.fleet_engine import (
+    FleetEngine,
+    build_row_engine,
+    heterogeneous_fleet,
+)
+
+#: Row counts of the standard bench (the largest is the acceptance
+#: configuration of ``benchmarks/test_fleetsim_throughput.py``).
+STANDARD_ROW_COUNTS = (64, 256)
+
+#: CI-sized configuration (seconds, not minutes).
+SMOKE_ROW_COUNTS = (16,)
+
+_CHECKED_FIELDS = (
+    "load_time_s", "duration_s", "energy_j", "switch_count",
+    "switch_stall_s", "final_temperature_c", "avg_temperature_c",
+)
+
+
+def _assert_rows_equivalent(
+    fleet: Sequence[RunResult], solo: Sequence[RunResult]
+) -> None:
+    """Cheap cross-check that fleet rows match their solo runs.
+
+    Compares the result scalars that would drift first if the fleet
+    sweep diverged; the exhaustive bit-identity suite (including trace
+    columns and the ``ReferenceEngine`` oracle) lives in the tests.
+    """
+    if len(fleet) != len(solo):
+        raise AssertionError(
+            f"row count mismatch: fleet={len(fleet)} solo={len(solo)}"
+        )
+    for row, (ours, theirs) in enumerate(zip(fleet, solo)):
+        for name in _CHECKED_FIELDS:
+            if getattr(ours, name) != getattr(theirs, name):
+                raise AssertionError(
+                    f"row {row}: fleet and per-device engines disagree "
+                    f"on {name}: {getattr(ours, name)!r} != "
+                    f"{getattr(theirs, name)!r}"
+                )
+
+
+def _time_fleet(
+    rows: int, seed: int, repeats: int
+) -> tuple[float, float]:
+    """Best-of-``repeats`` wall times at one row count.
+
+    Returns ``(solo_s, fleet_s)``.  Mirrors ``sim/bench.py``: engines
+    are built once and timed repeatedly (``run()`` resets all state;
+    rebuilding would bury the timing in workload-construction noise),
+    the warmup runs double as the equivalence check, and the two sides
+    alternate so background load drift cancels out of the ratio.
+    """
+    specs = heterogeneous_fleet(rows, seed=seed)
+    fleet_engine = FleetEngine(rows=specs)
+    solo_engines = [build_row_engine(spec) for spec in specs]
+    fleet_results = fleet_engine.run()
+    solo_results = [engine.run() for engine in solo_engines]
+    _assert_rows_equivalent(fleet_results, solo_results)
+    solo_best = fleet_best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        for engine in solo_engines:
+            engine.run()
+        solo_best = min(solo_best, time.perf_counter() - started)
+        started = time.perf_counter()
+        fleet_engine.run()
+        fleet_best = min(fleet_best, time.perf_counter() - started)
+    return solo_best, fleet_best
+
+
+def run_fleetsim_bench(
+    row_counts: Sequence[int] | None = None,
+    repeats: int = 3,
+    seed: int = 0,
+    output_path: str | Path | None = None,
+) -> dict:
+    """Time the fleet engine against per-device loops per row count.
+
+    Args:
+        row_counts: Fleet sizes to sweep (default:
+            :data:`STANDARD_ROW_COUNTS`).
+        repeats: Timed runs per side per row count (best-of).
+        seed: Fleet assignment seed
+            (:func:`~repro.sim.fleet_engine.heterogeneous_fleet`).
+        output_path: Optional JSON destination
+            (``BENCH_fleetsim.json``).
+
+    Returns:
+        The bench record: one entry per row count with both wall
+        times, rows-per-second on each side, and the fleet-over-loop
+        speedup; ``peak`` repeats the largest row count's entry.
+    """
+    counts = tuple(row_counts) if row_counts is not None else STANDARD_ROW_COUNTS
+    if not counts:
+        raise ValueError("need at least one row count")
+    entries = []
+    for rows in counts:
+        solo_s, fleet_s = _time_fleet(rows, seed, repeats)
+        entries.append(
+            {
+                "rows": rows,
+                "solo_ms": solo_s * 1e3,
+                "fleet_ms": fleet_s * 1e3,
+                "solo_rows_per_s": rows / solo_s,
+                "fleet_rows_per_s": rows / fleet_s,
+                "speedup": solo_s / fleet_s,
+            }
+        )
+
+    from repro.experiments.reporting import bench_envelope
+
+    record = {
+        "envelope": bench_envelope("fleetsim-bench", repeats=repeats),
+        "repeats": repeats,
+        "seed": seed,
+        "row_counts": entries,
+        "peak": max(entries, key=lambda entry: entry["rows"]),
+    }
+    if output_path is not None:
+        path = Path(output_path)
+        path.write_text(json.dumps(record, indent=2) + "\n")
+        record["output_path"] = str(path)
+    return record
+
+
+__all__ = [
+    "STANDARD_ROW_COUNTS",
+    "SMOKE_ROW_COUNTS",
+    "run_fleetsim_bench",
+]

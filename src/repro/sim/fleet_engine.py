@@ -1,0 +1,353 @@
+"""Struct-of-arrays fleet simulation: many devices in lockstep.
+
+One :class:`~repro.sim.engine.Engine` advances one phone.  Campaigns,
+fleet benches and the serving stack's digital twin instead want
+*populations*: hundreds of heterogeneous devices (different pages,
+co-runners, governors, ambient temperatures, even step sizes) advanced
+together.  :class:`FleetEngine` does that without forking the
+simulator's semantics:
+
+* Every row keeps its own :class:`~repro.sim.engine.Engine` for the
+  event-adjacent scalar work -- equilibrium solves, template building,
+  single-step fallbacks, governor decisions -- so a fleet row runs
+  exactly the regime-stepped fast path's code.
+* The expensive interior of each regime is executed across rows as
+  struct-of-arrays passes: each row's resumed cumulative-sum planning
+  table comes from :meth:`Engine._plan_regime`, and the per-step
+  thermal/leakage recurrences of *all* planned rows advance in one
+  vectorized sweep (:func:`repro.soc.numerics.integrate_thermal_rows`)
+  instead of one Python loop per device.
+
+Rows are fully independent -- no cross-row arithmetic ever happens --
+so heterogeneity costs nothing in correctness: a row that plans 50
+steps and a row that plans 7 share the same sweep, each reading only
+its own prefix.  The bit-exactness contract is the same as the fast
+path's: any row sliced out of a fleet run reproduces the single-device
+:class:`~repro.sim.engine.ReferenceEngine` result field-exactly
+(asserted by ``tests/sim/test_fleet_engine.py``).
+"""
+# repro: bit-exact -- every fleet row must equal a single-device
+# ReferenceEngine run bit for bit (R003 forbids BLAS/pairwise
+# reductions in this module).
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.sim.engine import (
+    Engine,
+    EngineConfig,
+    ReferenceEngine,
+    RunResult,
+    _LoopState,
+    _RegimePlan,
+)
+from repro.sim.governor import Governor, RunContext
+from repro.soc.numerics import integrate_thermal_rows
+
+#: Governor kinds a row spec can name (model-free, so fleet building
+#: never needs a trained bundle; custom governors go through
+#: ``FleetEngine(engines=...)``).
+_ROW_GOVERNORS = ("fixed", "interactive", "ondemand")
+
+
+@dataclass(frozen=True)
+class FleetRowSpec:
+    """One device row of a heterogeneous fleet.
+
+    Attributes:
+        page: Page the device loads.
+        kernel: Optional co-runner kernel.
+        governor: ``"fixed"``, ``"interactive"`` or ``"ondemand"``.
+        freq_hz: Operating point (required for ``"fixed"``).
+        ambient_c: Environment temperature of the row's device.
+        initial_junction_c: Junction temperature at run start.
+        dt_s: The row's simulation step.
+        max_time_s: The row's safety timeout.
+        deadline_s: QoS target handed to the governor context.
+        record_trace: Keep the row's per-step time series.
+    """
+
+    page: str
+    kernel: str | None = None
+    governor: str = "interactive"
+    freq_hz: float | None = None
+    ambient_c: float = 25.0
+    initial_junction_c: float = 48.0
+    dt_s: float = 0.002
+    max_time_s: float = 60.0
+    deadline_s: float = 3.0
+    record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.governor not in _ROW_GOVERNORS:
+            raise KeyError(f"unknown row governor {self.governor!r}")
+        if self.governor == "fixed" and self.freq_hz is None:
+            raise ValueError("a 'fixed' row needs freq_hz")
+
+
+def _row_governor(spec: FleetRowSpec) -> Governor:
+    # Imported here (with the workload builders below) to keep this
+    # module importable from ``repro.sim`` without a cycle through the
+    # browser package, which itself imports ``repro.sim.task``.
+    from repro.core.governors import (
+        FixedFrequencyGovernor,
+        InteractiveGovernor,
+        OndemandGovernor,
+    )
+
+    if spec.governor == "fixed":
+        assert spec.freq_hz is not None
+        return FixedFrequencyGovernor(freq_hz=spec.freq_hz, label="fixed")
+    if spec.governor == "interactive":
+        return InteractiveGovernor()
+    return OndemandGovernor()
+
+
+def build_row_engine(spec: FleetRowSpec, engine: str = "fast") -> Engine:
+    """Build the single-device engine a fleet row corresponds to.
+
+    With ``engine="reference"`` this is the row's bit-exactness oracle:
+    the same device, tasks, governor and config, run through
+    :class:`~repro.sim.engine.ReferenceEngine`'s per-step loop.
+    """
+    from repro.browser.browser import browser_tasks
+    from repro.browser.pages import page_by_name
+    from repro.soc.device import Device, DeviceConfig
+    from repro.soc.thermal import AmbientScenario
+    from repro.workloads.kernels import kernel_by_name, kernel_task
+
+    scenario = AmbientScenario(
+        name=f"fleet-{spec.ambient_c:g}-{spec.initial_junction_c:g}",
+        ambient_c=spec.ambient_c,
+        initial_junction_c=spec.initial_junction_c,
+    )
+    device = Device(DeviceConfig(ambient=scenario))
+    page = page_by_name(spec.page)
+    tasks = browser_tasks(page).as_list()
+    if spec.kernel is not None:
+        tasks.append(kernel_task(kernel_by_name(spec.kernel)))
+    cls = ReferenceEngine if engine == "reference" else Engine
+    return cls(
+        device=device,
+        tasks=tasks,
+        governor=_row_governor(spec),
+        context=RunContext(
+            spec=device.spec,
+            deadline_s=spec.deadline_s,
+            page_features=page.features,
+        ),
+        config=EngineConfig(
+            dt_s=spec.dt_s,
+            max_time_s=spec.max_time_s,
+            record_trace=spec.record_trace,
+            engine=engine,
+        ),
+    )
+
+
+_FLEET_PAGES = ("amazon", "espn", "aliexpress", "msn")
+_FLEET_KERNELS = (None, "backprop", "needleman-wunsch", "srad")
+_FLEET_FREQS = (729.6e6, 1036.8e6, 1190.4e6, 1728.0e6, 1958.4e6, 2265.6e6)
+#: (ambient_c, initial_junction_c) pairs: room, cooled (Fig. 10b),
+#: warm device, and a hot pocket.
+_FLEET_AMBIENTS = ((25.0, 48.0), (5.0, 26.0), (25.0, 58.0), (35.0, 52.0))
+#: Campaign-weighted governor mix (fixed sweeps dominate real
+#: campaigns; the utilization governors ride along).
+_FLEET_GOVERNOR_MIX = (
+    "fixed", "fixed", "fixed", "fixed", "interactive", "ondemand",
+)
+_FLEET_DTS = (0.002, 0.002, 0.004)
+
+
+def heterogeneous_fleet(
+    rows: int, seed: int = 0, record_trace: bool = False
+) -> tuple[FleetRowSpec, ...]:
+    """A deterministic heterogeneous fleet of ``rows`` devices.
+
+    Pages, co-runners, operating points, governors, ambient conditions
+    and step sizes all vary across rows (coprime strides decorrelate
+    the cycles); ``seed`` rotates the whole assignment.  Purely
+    arithmetic -- the same ``(rows, seed)`` always yields the same
+    fleet, which is what makes fleet benches and the serving digital
+    twin replayable.
+    """
+    if rows < 1:
+        raise ValueError("need at least one fleet row")
+    specs = []
+    for row in range(rows):
+        index = row + 7919 * seed
+        governor = _FLEET_GOVERNOR_MIX[index % len(_FLEET_GOVERNOR_MIX)]
+        ambient_c, junction_c = _FLEET_AMBIENTS[
+            (index // 5) % len(_FLEET_AMBIENTS)
+        ]
+        specs.append(
+            FleetRowSpec(
+                page=_FLEET_PAGES[index % len(_FLEET_PAGES)],
+                kernel=_FLEET_KERNELS[(index // 3) % len(_FLEET_KERNELS)],
+                governor=governor,
+                freq_hz=(
+                    _FLEET_FREQS[(index // 2) % len(_FLEET_FREQS)]
+                    if governor == "fixed"
+                    else None
+                ),
+                ambient_c=ambient_c,
+                initial_junction_c=junction_c,
+                dt_s=_FLEET_DTS[(index // 7) % len(_FLEET_DTS)],
+                record_trace=record_trace,
+            )
+        )
+    return tuple(specs)
+
+
+class FleetEngine:
+    """Advances many device simulations in lockstep.
+
+    Each *fleet epoch* gives every live row exactly one iteration of
+    :meth:`Engine.run`'s loop -- a planned bulk regime, or one scalar
+    step -- so a row's operation sequence is identical to running its
+    engine alone.  All regimes planned in the same epoch are then
+    integrated in one cross-row thermal sweep and one shared pass over
+    their planning tables.
+
+    Args:
+        rows: Fleet row specs to build engines from.
+        engines: Prebuilt engines to drive instead (exactly one of
+            ``rows`` / ``engines`` must be given).  Engines are
+            coerced to the fast path; each must be a distinct object
+            (rows own their mutable device/task state).
+    """
+
+    def __init__(
+        self,
+        rows: Sequence[FleetRowSpec] | None = None,
+        engines: Sequence[Engine] | None = None,
+    ) -> None:
+        if (rows is None) == (engines is None):
+            raise ValueError("pass exactly one of rows= or engines=")
+        if rows is not None:
+            built = [build_row_engine(spec) for spec in rows]
+        else:
+            assert engines is not None
+            built = list(engines)
+            for engine in built:
+                if isinstance(engine, ReferenceEngine):
+                    raise TypeError(
+                        "FleetEngine drives the fast path; run "
+                        "ReferenceEngine rows individually (they are "
+                        "the oracle, not fleet material)"
+                    )
+                if engine.config.engine != "fast":
+                    engine.config = replace(engine.config, engine="fast")
+            if len({id(engine) for engine in built}) != len(built):
+                raise ValueError("each fleet row needs its own engine")
+        if not built:
+            raise ValueError("need at least one fleet row")
+        self.engines: list[Engine] = built
+
+    def run(self) -> list[RunResult]:
+        """Simulate every row to completion; results in row order."""
+        engines = self.engines
+        loops = [engine._begin() for engine in engines]
+        results: list[RunResult | None] = [None] * len(engines)
+        active = list(range(len(engines)))
+        while active:
+            survivors: list[int] = []
+            planned: list[tuple[int, _RegimePlan]] = []
+            for index in active:
+                engine = engines[index]
+                loop = loops[index]
+                if loop.time_s >= engine.config.max_time_s:
+                    results[index] = engine._finish(loop)
+                    continue
+                regime = None
+                if loop.regime_cooldown:
+                    loop.regime_cooldown -= 1
+                else:
+                    regime = engine._plan_regime(loop)
+                if regime is not None:
+                    planned.append((index, regime))
+                    survivors.append(index)
+                elif engine._step(loop):
+                    survivors.append(index)
+                else:
+                    results[index] = engine._finish(loop)
+            if planned:
+                self._execute_plans(engines, loops, planned)
+            active = survivors
+        return [result for result in results if result is not None]
+
+    @staticmethod
+    def _execute_plans(
+        engines: list[Engine],
+        loops: list[_LoopState],
+        planned: list[tuple[int, _RegimePlan]],
+    ) -> None:
+        """Integrate and commit one epoch's regimes across rows.
+
+        Rows sort by descending step count so the thermal sweep walks a
+        shrinking prefix of live rows per column; everything gathered
+        here is exactly what each row's scalar
+        :meth:`~repro.soc.thermal.ThermalModel.integrate_regime` call
+        would read, including the per-row ``math.exp`` decay factor and
+        the per-row Eq. 5 leakage closure.
+        """
+        planned.sort(key=lambda item: item[1].n, reverse=True)
+        counts = []
+        dt = []
+        decay = []
+        ambient = []
+        r_th = []
+        non_leakage = []
+        rest = []
+        evaluators = []
+        temperatures = []
+        energies = []
+        integrals = []
+        for index, regime in planned:
+            loop = loops[index]
+            thermal = engines[index].device.thermal
+            template = regime.template
+            counts.append(regime.n)
+            dt.append(loop.dt)
+            decay.append(math.exp(-loop.dt / thermal.tau_s))
+            ambient.append(thermal.ambient_c)
+            r_th.append(thermal.r_th_c_per_w)
+            non_leakage.append(template.non_leakage_w)
+            rest.append(template.rest_of_device_w)
+            evaluators.append(template.leak_power_of_c)
+            temperatures.append(thermal.soc_temperature_c)
+            energies.append(loop.energy_j)
+            integrals.append(loop.temperature_integral)
+        leak_w, total_w, temp_c, final_t, final_e, final_i = (
+            integrate_thermal_rows(
+                steps=counts,
+                dt_s=dt,
+                decay=decay,
+                ambient_c=ambient,
+                r_th_c_per_w=r_th,
+                non_leakage_soc_w=non_leakage,
+                rest_of_device_w=rest,
+                leak_power_of_c=evaluators,
+                temperature_c=temperatures,
+                energy_j=energies,
+                temperature_integral=integrals,
+            )
+        )
+        for rank, (index, regime) in enumerate(planned):
+            engine = engines[index]
+            steps = regime.n
+            engine.device.thermal.install_regime(
+                float(final_t[rank]), regime.template.per_core_power
+            )
+            engine._execute_plan(
+                loops[index],
+                regime,
+                leak_w[rank, :steps],
+                total_w[rank, :steps],
+                temp_c[rank, :steps],
+                float(final_e[rank]),
+                float(final_i[rank]),
+            )

@@ -21,6 +21,8 @@ rely on.
 
 from __future__ import annotations
 
+from typing import Callable, Sequence
+
 import numpy as np
 from numpy.typing import ArrayLike
 
@@ -60,3 +62,116 @@ def accumulate_rows(
     table[:, 0] = bases
     table[:, 1:] = increments
     return np.cumsum(table, axis=1)
+
+
+def integrate_thermal_rows(
+    steps: Sequence[int],
+    dt_s: ArrayLike,
+    decay: ArrayLike,
+    ambient_c: ArrayLike,
+    r_th_c_per_w: ArrayLike,
+    non_leakage_soc_w: ArrayLike,
+    rest_of_device_w: ArrayLike,
+    leak_power_of_c: Sequence[Callable[[float], float]],
+    temperature_c: ArrayLike,
+    energy_j: ArrayLike,
+    temperature_integral: ArrayLike,
+) -> tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray
+]:
+    """Advance many devices' thermal/leakage recurrences in lockstep.
+
+    The struct-of-arrays counterpart of
+    :meth:`repro.soc.thermal.ThermalModel.integrate_regime`: each row
+    is one device inside its own constant-power regime, and every
+    per-step expression below is the *elementwise* image of the scalar
+    recurrence -- NumPy's float64 ``+ - * /`` round identically to
+    Python floats, so the per-row trajectories are bit-identical to
+    ``steps[row]`` scalar iterations.  The single exception is Eq. 5
+    leakage: ``np.exp`` (and C ``pow``) do not reproduce ``math.exp``
+    / ``float.__pow__`` bit for bit, so leakage is evaluated through
+    each row's own scalar closure at every step.
+
+    Rows are independent (no cross-row arithmetic ever happens), so
+    heterogeneous ``dt`` / decay / ambient per row is exact by
+    construction.  ``steps`` must be non-increasing: the sweep then
+    touches a shrinking prefix of rows per column, and a finished
+    row's state is never read or written again.
+
+    Args:
+        steps: Per-row step counts, sorted non-increasing, all >= 1.
+        dt_s: Per-row step durations.
+        decay: Per-row ``exp(-dt / tau)`` factors (computed by the
+            caller with ``math.exp``, as the scalar model does).
+        ambient_c: Per-row environment temperatures.
+        r_th_c_per_w: Per-row junction-to-environment resistances.
+        non_leakage_soc_w: Per-row constant ``dynamic + memory`` power.
+        rest_of_device_w: Per-row constant rest-of-device floors.
+        leak_power_of_c: Per-row ``temperature_c -> watts`` closures
+            (:meth:`~repro.soc.leakage.LeakageParameters.bound_evaluator`).
+        temperature_c: Per-row starting temperatures (not mutated).
+        energy_j: Per-row energy accumulators (not mutated).
+        temperature_integral: Per-row temperature-time accumulators
+            (not mutated).
+
+    Returns:
+        ``(leak_w, total_w, temp_c, temperature_c, energy_j,
+        temperature_integral)``: three ``(rows, max(steps))`` series
+        matrices (row ``r`` is meaningful up to column ``steps[r]``;
+        powers pre-step, temperatures post-step) and the three advanced
+        per-row state vectors.
+    """
+    counts = np.asarray(steps, dtype=np.int64)
+    rows = int(counts.shape[0])
+    if rows == 0:
+        empty_matrix = np.empty((0, 0), dtype=np.float64)
+        empty_vector = np.empty(0, dtype=np.float64)
+        return (
+            empty_matrix, empty_matrix, empty_matrix,
+            empty_vector, empty_vector, empty_vector,
+        )
+    if bool(np.any(counts[1:] > counts[:-1])):
+        raise ValueError("steps must be non-increasing")
+    if int(counts[-1]) < 1:
+        raise ValueError("every row needs at least one step")
+    width = int(counts[0])
+
+    dt = np.asarray(dt_s, dtype=np.float64)
+    decay_v = np.asarray(decay, dtype=np.float64)
+    ambient = np.asarray(ambient_c, dtype=np.float64)
+    r_th = np.asarray(r_th_c_per_w, dtype=np.float64)
+    non_leakage = np.asarray(non_leakage_soc_w, dtype=np.float64)
+    rest = np.asarray(rest_of_device_w, dtype=np.float64)
+    temperature = np.array(temperature_c, dtype=np.float64)
+    energy = np.array(energy_j, dtype=np.float64)
+    integral = np.array(temperature_integral, dtype=np.float64)
+
+    leak_w = np.empty((rows, width), dtype=np.float64)
+    total_w = np.empty((rows, width), dtype=np.float64)
+    temp_c = np.empty((rows, width), dtype=np.float64)
+    active = rows
+    for column in range(width):
+        while counts[active - 1] <= column:
+            active -= 1
+        live = slice(0, active)
+        before = temperature[live]
+        # Leakage at the pre-step temperature, through each row's own
+        # scalar evaluator (see the docstring for why not np.exp).
+        leak = np.array(
+            [
+                evaluate(value)
+                for evaluate, value in zip(leak_power_of_c, before.tolist())
+            ],
+            dtype=np.float64,
+        )
+        soc_w = non_leakage[live] + leak
+        total = soc_w + rest[live]
+        leak_w[live, column] = leak
+        total_w[live, column] = total
+        energy[live] += total * dt[live]
+        target = ambient[live] + soc_w * r_th[live]
+        after = target + (before - target) * decay_v[live]
+        temperature[live] = after
+        temp_c[live, column] = after
+        integral[live] += after * dt[live]
+    return leak_w, total_w, temp_c, temperature, energy, integral

@@ -1,0 +1,117 @@
+"""Struct-of-arrays thermal sweep vs the scalar recurrence."""
+
+import pytest
+
+from repro.soc.leakage import nexus5_leakage_parameters
+from repro.soc.numerics import integrate_thermal_rows
+from repro.soc.thermal import ThermalModel
+
+
+def _rows():
+    """Three heterogeneous rows: dt, ambient and power all differ."""
+    evaluator = nexus5_leakage_parameters().bound_evaluator(1.05)
+    hot_evaluator = nexus5_leakage_parameters().bound_evaluator(1.225)
+    return dict(
+        steps=[7, 4, 1],
+        dt_s=[0.002, 0.004, 0.002],
+        decay=[],  # filled by the fixture from per-row tau values
+        ambient_c=[25.0, 5.0, 35.0],
+        r_th_c_per_w=[9.0, 9.0, 9.0],
+        non_leakage_soc_w=[1.5, 0.4, 2.75],
+        rest_of_device_w=[0.35, 0.35, 0.5],
+        leak_power_of_c=[evaluator, evaluator, hot_evaluator],
+        temperature_c=[48.0, 26.0, 58.0],
+        energy_j=[0.0, 1.25, 10.5],
+        temperature_integral=[0.0, 30.0, 700.0],
+    )
+
+
+def _scalar_reference(kwargs):
+    """Drive each row through ThermalModel.integrate_regime."""
+    import math
+
+    outcomes = []
+    for row in range(len(kwargs["steps"])):
+        model = ThermalModel(
+            r_th_c_per_w=kwargs["r_th_c_per_w"][row],
+            ambient_c=kwargs["ambient_c"][row],
+            soc_temperature_c=kwargs["temperature_c"][row],
+        )
+        # Recover tau from the row's decay factor so both paths use
+        # the identical exp(-dt/tau).
+        model.tau_s = -kwargs["dt_s"][row] / math.log(kwargs["decay"][row])
+        leak, total, temp = model.integrate_regime(
+            steps=kwargs["steps"][row],
+            dt_s=kwargs["dt_s"][row],
+            non_leakage_soc_w=kwargs["non_leakage_soc_w"][row],
+            rest_of_device_w=kwargs["rest_of_device_w"][row],
+            leak_power_of_c=kwargs["leak_power_of_c"][row],
+        )
+        energy = kwargs["energy_j"][row]
+        integral = kwargs["temperature_integral"][row]
+        for power, temperature in zip(total, temp):
+            energy += power * kwargs["dt_s"][row]
+            integral += temperature * kwargs["dt_s"][row]
+        outcomes.append(
+            (leak, total, temp, model.soc_temperature_c, energy, integral)
+        )
+    return outcomes
+
+
+@pytest.fixture
+def kwargs():
+    import math
+
+    values = _rows()
+    values["decay"] = [
+        math.exp(-dt / tau)
+        for dt, tau in zip(values["dt_s"], (2.5, 1.75, 2.5))
+    ]
+    return values
+
+
+class TestIntegrateThermalRows:
+    def test_bit_identical_to_scalar_regimes(self, kwargs):
+        leak_w, total_w, temp_c, final_t, final_e, final_i = (
+            integrate_thermal_rows(**kwargs)
+        )
+        for row, expected in enumerate(_scalar_reference(kwargs)):
+            steps = kwargs["steps"][row]
+            exp_leak, exp_total, exp_temp, exp_t, exp_e, exp_i = expected
+            assert list(leak_w[row, :steps]) == exp_leak
+            assert list(total_w[row, :steps]) == exp_total
+            assert list(temp_c[row, :steps]) == exp_temp
+            assert float(final_t[row]) == exp_t
+            assert float(final_e[row]) == exp_e
+            assert float(final_i[row]) == exp_i
+
+    def test_inputs_are_not_mutated(self, kwargs):
+        temperature = list(kwargs["temperature_c"])
+        energy = list(kwargs["energy_j"])
+        integral = list(kwargs["temperature_integral"])
+        integrate_thermal_rows(**kwargs)
+        assert kwargs["temperature_c"] == temperature
+        assert kwargs["energy_j"] == energy
+        assert kwargs["temperature_integral"] == integral
+
+    def test_rejects_increasing_step_counts(self, kwargs):
+        kwargs["steps"] = [4, 7, 1]
+        with pytest.raises(ValueError, match="non-increasing"):
+            integrate_thermal_rows(**kwargs)
+
+    def test_rejects_empty_rows(self, kwargs):
+        kwargs["steps"] = [7, 4, 0]
+        with pytest.raises(ValueError, match="at least one step"):
+            integrate_thermal_rows(**kwargs)
+
+    def test_no_rows_returns_empty(self):
+        leak_w, total_w, temp_c, final_t, final_e, final_i = (
+            integrate_thermal_rows(
+                steps=[], dt_s=[], decay=[], ambient_c=[],
+                r_th_c_per_w=[], non_leakage_soc_w=[],
+                rest_of_device_w=[], leak_power_of_c=[],
+                temperature_c=[], energy_j=[], temperature_integral=[],
+            )
+        )
+        for value in (leak_w, total_w, temp_c, final_t, final_e, final_i):
+            assert value.size == 0
