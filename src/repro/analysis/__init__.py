@@ -22,17 +22,31 @@ Deliberate exceptions are either suppressed in place with a
 from __future__ import annotations
 
 from repro.analysis.baseline import Baseline, default_baseline_path
-from repro.analysis.engine import LintReport, lint_paths, run_lint
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.engine import (
+    LintReport,
+    build_call_graph,
+    lint_paths,
+    run_lint,
+)
 from repro.analysis.findings import Finding
-from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.registry import ALL_RULES, RULES_BY_ID, rules_for_ids
+from repro.analysis.rules import ProjectRule, Rule
+from repro.analysis.sarif import report_to_sarif
 
 __all__ = [
     "ALL_RULES",
     "Baseline",
+    "CallGraph",
     "Finding",
     "LintReport",
+    "ProjectRule",
+    "RULES_BY_ID",
     "Rule",
+    "build_call_graph",
     "default_baseline_path",
     "lint_paths",
+    "report_to_sarif",
+    "rules_for_ids",
     "run_lint",
 ]

@@ -1,0 +1,366 @@
+"""Interprocedural taint: hazards reached through call chains.
+
+The direct rules flag the *spelling* of a hazard -- ``time.time()``
+written inside ``sim/``.  This pass flags the *reachability* of one: a
+function in a guarded module (the ``sim/`` / ``soc/`` / ``models/``
+trees, the vectorized serve kernel, anything tagged
+``# repro: bit-exact``) whose call chain bottoms out, any number of
+hops away, in an unseeded RNG draw (R001), a wall-clock read (R002),
+or an environment read (R004) that lives in an *unguarded* module --
+exactly the laundering the per-module rules cannot see.
+
+Mechanics:
+
+* **Sources** are hazard call/reference sites detected with the same
+  banned-name tables the direct rules use, in any scanned module
+  *except* the family's sanctioned ones (the seeded-stream factory for
+  R001, the runtime-pool/cache env boundaries for R004, the bench
+  allowlist for R002).  A source silenced by an inline
+  ``# repro: allow[...]`` is treated as sanctioned and does not taint
+  its callers -- suppression decisions compose across the graph.
+* **Propagation** walks the call graph breadth-first from the sources
+  up through callers, bounded by
+  :data:`repro.analysis.callgraph.DEFAULT_MAX_DEPTH`, keeping one
+  shortest (then lexicographically first) path per function and
+  family, so messages are deterministic.
+* **Findings** fire only for chains of length >= 1 hop whose hazard
+  site lies *outside* the guarded scope: a direct hazard in a guarded
+  module is the direct rule's finding (same rule id, same line -- no
+  double report), and a chain that ends in another guarded module is
+  already failing the gate there.
+
+Findings carry the direct rule's id (``R001``/``R002``/``R004``), so
+``# repro: allow[...]`` comments, the baseline, and ``--rules``
+selection treat direct and indirect spellings of one hazard uniformly.
+The finding anchors at the first call of the chain -- the line inside
+the guarded module that starts the taint -- and the message embeds the
+full call path down to the hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.callgraph import DEFAULT_MAX_DEPTH, CallGraph
+from repro.analysis.findings import Finding
+from repro.analysis.rules import (
+    EnvReadRule,
+    ModuleUnderAnalysis,
+    ProjectRule,
+    UnseededRngRule,
+    WallClockRule,
+    _path_in,
+)
+
+#: Module trees whose functions are taint sinks: code that must stay a
+#: pure function of its inputs.  ``# repro: bit-exact`` modules join
+#: the set wherever they live.
+SINK_PREFIXES = ("sim/", "soc/", "models/", "serve/batch_predictor.py")
+
+
+@dataclass(frozen=True)
+class HazardSource:
+    """One hazard site: a function directly containing a banned call.
+
+    Attributes:
+        qualname: Function containing the hazard.
+        module_path: Module the function lives in.
+        line: 1-based line of the hazard call/reference.
+        description: The banned dotted name (``"time.time"``).
+    """
+
+    qualname: str
+    module_path: str
+    line: int
+    description: str
+
+
+@dataclass(frozen=True)
+class _Taint:
+    """Shortest known chain from a function down to a hazard.
+
+    ``chain`` holds ``(qualname, line)`` hops, outermost first; the
+    final entry is the hazard-owning function, and ``source`` is the
+    hazard itself.
+    """
+
+    chain: tuple[tuple[str, int], ...]
+    source: HazardSource
+
+    @property
+    def depth(self) -> int:
+        return len(self.chain) - 1
+
+    def sort_key(self) -> tuple:
+        return (self.depth, self.chain, self.source.description)
+
+
+class TaintRule(ProjectRule):
+    """One hazard family propagated through the call graph.
+
+    Subclasses bind a direct rule's banned-name tables; the shared
+    machinery below turns them into sources, propagates, and reports.
+    """
+
+    #: Modules whose hazard sites are sanctioned, never sources.
+    source_allowed: tuple[str, ...] = ()
+    #: Sink-scope carve-outs beyond ``source_allowed`` (modules inside
+    #: the guarded trees that may legitimately reach the hazard).
+    sink_allowed: tuple[str, ...] = ()
+
+    def hazards_in(
+        self, module: ModuleUnderAnalysis, node: ast.AST
+    ) -> str | None:
+        """The banned dotted name an AST node reaches, if any."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    def check_project(
+        self, modules: Sequence[ModuleUnderAnalysis], graph: CallGraph
+    ) -> list[Finding]:
+        by_path = {module.path: module for module in modules}
+        sources = self._collect_sources(by_path, graph)
+        taints = self._propagate(sources, graph)
+        return self._report(by_path, graph, taints)
+
+    def _collect_sources(
+        self, by_path: dict[str, ModuleUnderAnalysis], graph: CallGraph
+    ) -> list[HazardSource]:
+        from repro.analysis.engine import SuppressionIndex
+
+        sources: list[HazardSource] = []
+        suppressions: dict[str, SuppressionIndex] = {}
+        for qualname in sorted(graph.functions):
+            node = graph.functions[qualname]
+            module = by_path.get(node.module_path)
+            if module is None or _path_in(module.path, self.source_allowed):
+                continue
+            index = suppressions.get(module.path)
+            if index is None:
+                index = suppressions[module.path] = SuppressionIndex(module.lines)
+            for sub in ast.walk(node.node):
+                hazard = self.hazards_in(module, sub)
+                if hazard is None:
+                    continue
+                line = getattr(sub, "lineno", node.line)
+                probe = Finding(
+                    rule_id=self.rule_id,
+                    path=module.path,
+                    line=line,
+                    col=getattr(sub, "col_offset", 0),
+                    message="",
+                    snippet="",
+                )
+                if index.covers(probe):
+                    continue  # inline-sanctioned: does not taint callers
+                sources.append(
+                    HazardSource(
+                        qualname=qualname,
+                        module_path=module.path,
+                        line=line,
+                        description=hazard,
+                    )
+                )
+        return sources
+
+    def _propagate(
+        self, sources: list[HazardSource], graph: CallGraph
+    ) -> dict[str, _Taint]:
+        """Shortest hazard chain per function, breadth-first upward."""
+        taints: dict[str, _Taint] = {}
+        for source in sorted(
+            sources, key=lambda s: (s.qualname, s.line, s.description)
+        ):
+            candidate = _Taint(
+                chain=((source.qualname, source.line),), source=source
+            )
+            held = taints.get(source.qualname)
+            if held is None or candidate.sort_key() < held.sort_key():
+                taints[source.qualname] = candidate
+        frontier = sorted(taints)
+        for _hop in range(DEFAULT_MAX_DEPTH):
+            next_frontier: list[str] = []
+            for tainted in frontier:
+                taint = taints[tainted]
+                for caller in graph.callers_of(tainted):
+                    site_line = min(
+                        site.line
+                        for site in graph.calls_from(caller)
+                        if site.callee == tainted
+                    )
+                    candidate = _Taint(
+                        chain=((caller, site_line), *taint.chain),
+                        source=taint.source,
+                    )
+                    held = taints.get(caller)
+                    if held is None or candidate.sort_key() < held.sort_key():
+                        taints[caller] = candidate
+                        next_frontier.append(caller)
+            if not next_frontier:
+                break
+            frontier = sorted(set(next_frontier))
+        return taints
+
+    def _report(
+        self,
+        by_path: dict[str, ModuleUnderAnalysis],
+        graph: CallGraph,
+        taints: dict[str, _Taint],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for qualname in sorted(taints):
+            taint = taints[qualname]
+            node = graph.functions[qualname]
+            module = by_path.get(node.module_path)
+            if module is None or not self._is_sink(module):
+                continue
+            if taint.depth < 1:
+                continue  # direct hazard: the per-module rule's finding
+            if self._in_guarded_scope(
+                by_path.get(taint.source.module_path)
+            ):
+                continue  # hazard already fails the gate where it lives
+            first_hop_line = taint.chain[0][1]
+            findings.append(
+                Finding(
+                    rule_id=self.rule_id,
+                    path=module.path,
+                    line=first_hop_line,
+                    col=0,
+                    message=(
+                        f"{taint.source.description} reachable from "
+                        f"{qualname} via call path "
+                        f"{_render_chain(taint, graph)}; "
+                        + self.remediation
+                    ),
+                    snippet=module.line(first_hop_line),
+                )
+            )
+        return findings
+
+    def _is_sink(self, module: ModuleUnderAnalysis) -> bool:
+        if _path_in(module.path, self.sink_allowed) or _path_in(
+            module.path, self.source_allowed
+        ):
+            return False
+        return module.bit_exact or _path_in(module.path, SINK_PREFIXES)
+
+    def _in_guarded_scope(self, module: ModuleUnderAnalysis | None) -> bool:
+        if module is None:
+            return False
+        return module.bit_exact or _path_in(module.path, SINK_PREFIXES)
+
+    remediation: str = ""
+
+
+def _render_chain(taint: _Taint, graph: CallGraph) -> str:
+    hops = []
+    for qualname, line in taint.chain:
+        path = graph.functions[qualname].module_path
+        hops.append(f"{path}::{qualname}:{line}")
+    hops.append(taint.source.description)
+    return " -> ".join(hops)
+
+
+# ----------------------------------------------------------------------
+# The three propagated families
+# ----------------------------------------------------------------------
+class RngTaintRule(TaintRule):
+    """R001 propagated: guarded code must not reach unseeded RNG."""
+
+    rule_id = "R001"
+    title = "no indirect global/unseeded RNG reachability"
+    rationale = (
+        "a helper drawing from global RNG state breaks parallel == "
+        "serial replay for every guarded caller, however many hops away"
+    )
+    source_allowed = UnseededRngRule.allowed_modules
+    remediation = (
+        "thread a seeded Generator from models.training.measurement_rng "
+        "through the helper instead"
+    )
+
+    def __init__(self) -> None:
+        self._direct = UnseededRngRule()
+
+    def hazards_in(
+        self, module: ModuleUnderAnalysis, node: ast.AST
+    ) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        dotted = module.resolve(node.func)
+        if dotted is None:
+            return None
+        return (
+            dotted
+            if self._direct._violation(dotted, node) is not None
+            else None
+        )
+
+
+class WallClockTaintRule(TaintRule):
+    """R002 propagated: guarded code must not reach wall-clock reads."""
+
+    rule_id = "R002"
+    title = "no indirect wall-clock reachability"
+    rationale = (
+        "a wall-clock read laundered through a helper still makes "
+        "simulation/model outputs depend on when they ran"
+    )
+    source_allowed = WallClockRule.allowlist
+    sink_allowed = WallClockRule.allowlist
+    remediation = "inject a clock from the caller instead"
+
+    def hazards_in(
+        self, module: ModuleUnderAnalysis, node: ast.AST
+    ) -> str | None:
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            return None
+        if isinstance(getattr(node, "ctx", None), (ast.Store, ast.Del)):
+            return None
+        dotted = module.resolve(node)
+        return dotted if dotted in WallClockRule._banned else None
+
+
+class EnvReadTaintRule(TaintRule):
+    """R004 propagated: guarded code must not reach environment reads."""
+
+    rule_id = "R004"
+    title = "no indirect os.environ reachability"
+    rationale = (
+        "an env read behind a helper lets ambient shell state into "
+        "model numerics that cache keys never capture"
+    )
+    source_allowed = EnvReadRule.allowed_modules
+    remediation = (
+        "pass the knob as an explicit argument from runtime/pool.py or "
+        "experiments/cache.py"
+    )
+
+    def hazards_in(
+        self, module: ModuleUnderAnalysis, node: ast.AST
+    ) -> str | None:
+        if isinstance(node, ast.Attribute):
+            dotted = module.resolve(node)
+            if dotted == "os.environ":
+                return dotted
+        elif isinstance(node, ast.Call):
+            dotted = module.resolve(node.func)
+            if dotted in ("os.getenv", "os.putenv", "os.environb"):
+                return dotted
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if module.resolve(node) == "os.environ":
+                return "os.environ"
+        return None
+
+
+#: The taint pass, in direct-rule id order.
+TAINT_RULES: tuple[TaintRule, ...] = (
+    RngTaintRule(),
+    WallClockTaintRule(),
+    EnvReadTaintRule(),
+)

@@ -18,15 +18,18 @@ from __future__ import annotations
 
 import ast
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.callgraph import CallGraph
 from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.registry import ALL_RULES
 from repro.analysis.rules import (
-    ALL_RULES,
     ModuleUnderAnalysis,
+    ProjectRule,
     Rule,
     build_import_tables,
 )
@@ -48,6 +51,10 @@ class LintReport:
             (the entry should be deleted; the minimality test enforces
             this).
         files_scanned: Number of modules parsed.
+        timings: Rule id -> seconds spent in that rule's checks across
+            the whole pass (per-module rules summed over modules;
+            project rules timed once, call-graph construction reported
+            under ``"callgraph"``).
     """
 
     new_findings: list[Finding] = field(default_factory=list)
@@ -55,6 +62,7 @@ class LintReport:
     suppressed: list[Finding] = field(default_factory=list)
     stale_baseline: list[tuple[str, str, str]] = field(default_factory=list)
     files_scanned: int = 0
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -78,6 +86,10 @@ class LintReport:
                 {"rule": rule, "path": path, "snippet": snippet}
                 for rule, path, snippet in self.stale_baseline
             ],
+            "timings_s": {
+                key: round(seconds, 6)
+                for key, seconds in sorted(self.timings.items())
+            },
         }
 
     def render(self) -> str:
@@ -109,10 +121,17 @@ class SuppressionIndex:
     def __init__(self, lines: Sequence[str]) -> None:
         self._by_line: dict[int, set[str]] = {}
         for number, text in enumerate(lines, start=1):
-            match = _ALLOW_RE.search(text)
-            if not match:
+            # finditer, not search: several allow[...] tags may share a
+            # line, and each contributes its rules.
+            rules: set[str] = set()
+            for match in _ALLOW_RE.finditer(text):
+                rules.update(
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                )
+            if not rules:
                 continue
-            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
             # A standalone comment line covers the statement below it;
             # a trailing comment covers its own line.
             target = number + 1 if text.lstrip().startswith("#") else number
@@ -159,11 +178,34 @@ def discover_files(package_root: Path) -> list[Path]:
     )
 
 
+def build_call_graph(
+    package_root: Path | None = None,
+    exclude: Sequence[str] = (),
+) -> CallGraph:
+    """Parse a tree and build its call graph (``repro lint --graph``)."""
+    if package_root is None:
+        package_root = Path(__file__).resolve().parents[1]
+    modules = [
+        parse_module(path, package_root)
+        for path in discover_files(package_root)
+    ]
+    modules = [m for m in modules if not _excluded(m.path, exclude)]
+    return CallGraph.build(modules)
+
+
+def _excluded(path: str, exclude: Sequence[str]) -> bool:
+    return any(
+        path == prefix or path.startswith(prefix.rstrip("/") + "/")
+        for prefix in exclude
+    )
+
+
 def lint_paths(
     files: Iterable[Path],
     package_root: Path,
     rules: Sequence[Rule] | None = None,
     baseline: Baseline | None = None,
+    exclude: Sequence[str] = (),
 ) -> LintReport:
     """Lint an explicit set of files against a package root.
 
@@ -174,21 +216,51 @@ def lint_paths(
             finding paths are relative to it.
         rules: Rule subset (default: all shipped rules).
         baseline: Grandfathered findings (default: empty).
+        exclude: Root-relative path prefixes to skip (fixture corpora
+            that violate rules on purpose).
     """
     active_rules = list(rules) if rules is not None else list(ALL_RULES)
+    module_rules = [r for r in active_rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active_rules if isinstance(r, ProjectRule)]
     baseline = baseline or Baseline()
     report = LintReport()
     raw: list[Finding] = []
+    modules: list[ModuleUnderAnalysis] = []
+    suppressions: dict[str, SuppressionIndex] = {}
+
+    def record(findings: Iterable[Finding]) -> None:
+        for finding in findings:
+            index = suppressions.get(finding.path)
+            if index is not None and index.covers(finding):
+                report.suppressed.append(finding)
+            else:
+                raw.append(finding)
+
     for path in files:
         module = parse_module(Path(path), package_root)
+        if _excluded(module.path, exclude):
+            continue
+        modules.append(module)
         report.files_scanned += 1
-        suppressions = SuppressionIndex(module.lines)
-        for rule in active_rules:
-            for finding in rule.check(module):
-                if suppressions.covers(finding):
-                    report.suppressed.append(finding)
-                else:
-                    raw.append(finding)
+        suppressions[module.path] = SuppressionIndex(module.lines)
+        for rule in module_rules:
+            start = time.perf_counter()
+            findings = rule.check(module)
+            report.timings[rule.rule_id] = report.timings.get(
+                rule.rule_id, 0.0
+            ) + (time.perf_counter() - start)
+            record(findings)
+    if project_rules:
+        start = time.perf_counter()
+        graph = CallGraph.build(modules)
+        report.timings["callgraph"] = time.perf_counter() - start
+        for rule in project_rules:
+            start = time.perf_counter()
+            findings = rule.check_project(modules, graph)
+            report.timings[rule.rule_id] = report.timings.get(
+                rule.rule_id, 0.0
+            ) + (time.perf_counter() - start)
+            record(findings)
     baselined, new, stale = baseline.partition(sort_findings(raw))
     report.baselined = baselined
     report.new_findings = new
@@ -200,6 +272,7 @@ def run_lint(
     package_root: Path | None = None,
     rules: Sequence[Rule] | None = None,
     baseline: Baseline | None = None,
+    exclude: Sequence[str] = (),
 ) -> LintReport:
     """Lint every module of a package tree (default: installed repro)."""
     if package_root is None:
@@ -209,4 +282,5 @@ def run_lint(
         package_root=package_root,
         rules=rules,
         baseline=baseline,
+        exclude=exclude,
     )

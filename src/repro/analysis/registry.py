@@ -1,0 +1,43 @@
+"""The shipped rule registry: direct, taint, and concurrency families.
+
+Rule *ids* are the user-facing handle (suppressions, baseline entries,
+``--rules`` selection, SARIF); a single id can be implemented by more
+than one rule object -- R001/R002/R004 each ship a per-module direct
+rule plus the interprocedural taint rule that propagates the same
+hazard through call chains.  Selecting an id selects every
+implementation, so ``--rules R002`` means "the wall-clock guarantee",
+direct and indirect spellings alike.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.concurrency import CONCURRENCY_RULES
+from repro.analysis.dataflow import TAINT_RULES
+from repro.analysis.rules import DIRECT_RULES, Rule
+
+#: Every shipped rule object, direct rules first, then taint, then the
+#: concurrency family -- in id order within each group.
+ALL_RULES: tuple[Rule, ...] = DIRECT_RULES + TAINT_RULES + CONCURRENCY_RULES
+
+#: Rule id -> every rule object implementing it.
+RULES_BY_ID: dict[str, tuple[Rule, ...]] = {}
+for _rule in ALL_RULES:
+    RULES_BY_ID[_rule.rule_id] = RULES_BY_ID.get(_rule.rule_id, ()) + (_rule,)
+
+
+def rules_for_ids(rule_ids: list[str]) -> list[Rule]:
+    """Every rule object implementing the given ids, registry order.
+
+    Raises:
+        ValueError: On an unknown id, listing the known ones -- an
+            unknown id silently selecting nothing would green-light a
+            scan that never ran.
+    """
+    unknown = sorted({rid for rid in rule_ids if rid not in RULES_BY_ID})
+    if unknown:
+        raise ValueError(
+            f"unknown rules: {', '.join(unknown)}; "
+            f"choices: {', '.join(RULES_BY_ID)}"
+        )
+    wanted = set(rule_ids)
+    return [rule for rule in ALL_RULES if rule.rule_id in wanted]

@@ -34,9 +34,12 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.callgraph import CallGraph
 
 
 @dataclass
@@ -155,6 +158,28 @@ class Rule:
             message=message,
             snippet=module.line(lineno),
         )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole module set (and the call graph).
+
+    Per-module rules see one file at a time; a project rule's
+    :meth:`check_project` runs once after every module has been parsed,
+    with the cross-module call graph
+    (:class:`repro.analysis.callgraph.CallGraph`) built on demand by
+    the engine.  Findings still anchor at one source location, so the
+    suppression and baseline machinery applies unchanged.
+    """
+
+    def check(self, module: ModuleUnderAnalysis) -> list[Finding]:
+        """Project rules contribute nothing in the per-module pass."""
+        return []
+
+    def check_project(
+        self, modules: Sequence["ModuleUnderAnalysis"], graph: "CallGraph"
+    ) -> list[Finding]:
+        """Findings over the whole scanned tree."""
+        raise NotImplementedError
 
 
 def _path_in(path: str, prefixes: tuple[str, ...]) -> bool:
@@ -768,8 +793,10 @@ def _dedupe_by_location(findings: list[Finding]) -> list[Finding]:
     return unique
 
 
-#: The shipped rule set, in id order.
-ALL_RULES: tuple[Rule, ...] = (
+#: The per-module direct rules, in id order.  The full shipped set --
+#: these plus the taint and concurrency families -- lives in
+#: :mod:`repro.analysis.registry`.
+DIRECT_RULES: tuple[Rule, ...] = (
     UnseededRngRule(),
     WallClockRule(),
     BlasReductionRule(),
@@ -777,6 +804,3 @@ ALL_RULES: tuple[Rule, ...] = (
     NondetAccumulationRule(),
     FingerprintMutationRule(),
 )
-
-#: Lookup by rule id.
-RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

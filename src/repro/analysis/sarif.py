@@ -1,0 +1,116 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+One run, one driver (``repro-lint``), every shipped rule declared in
+the driver's rule metadata, and one result per finding:
+
+* *new* findings are ``error`` -- they fail the gate;
+* *baselined* findings are ``note`` results carrying an ``external``
+  suppression (the checked-in ``lint-baseline.json``);
+* inline-``allow``-ed findings are ``note`` results carrying an
+  ``inSource`` suppression.
+
+GitHub code scanning ingests this shape directly (the CI static job
+uploads it), so findings annotate the PR diff at the exact line.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import LintReport
+from repro.analysis.findings import Finding, sort_findings
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+
+def report_to_sarif(report: LintReport) -> dict:
+    """The SARIF 2.1.0 log for one lint pass."""
+    from repro.analysis.registry import ALL_RULES
+
+    # A rule id implemented by several objects (direct + taint) keeps
+    # the first object's metadata: the direct rule is registered first
+    # and carries the canonical description.
+    rule_metadata: dict[str, dict] = {}
+    for rule in ALL_RULES:
+        rule_metadata.setdefault(
+            rule.rule_id,
+            {
+                "id": rule.rule_id,
+                "name": _rule_name(rule.title),
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": "error"},
+            },
+        )
+
+    results = []
+    for finding in sort_findings(report.new_findings):
+        results.append(_result(finding, level="error", suppression=None))
+    for finding in sort_findings(report.baselined):
+        results.append(_result(finding, level="note", suppression="external"))
+    for finding in sort_findings(report.suppressed):
+        results.append(_result(finding, level="note", suppression="inSource"))
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://github.com/oasis-tcs/sarif-spec"
+                        ),
+                        "rules": [
+                            rule_metadata[rule_id]
+                            for rule_id in sorted(rule_metadata)
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def _rule_name(title: str) -> str:
+    """A PascalCase reportingDescriptor name from a rule title."""
+    words = [part for part in title.replace("/", " ").split() if part.isalnum()]
+    return "".join(word.capitalize() for word in words) or "Rule"
+
+
+def _result(
+    finding: Finding, level: str, suppression: str | None
+) -> dict:
+    result = {
+        "ruleId": finding.rule_id,
+        "level": level,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            # The same location-independent key the baseline uses, so
+            # code-scanning alert identity survives line shifts too.
+            "reproLintKey/v1": "|".join(finding.baseline_key),
+        },
+    }
+    if suppression is not None:
+        result["suppressions"] = [{"kind": suppression}]
+    return result

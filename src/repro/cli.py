@@ -627,10 +627,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.analysis import Baseline, default_baseline_path, run_lint
-    from repro.analysis.rules import RULES_BY_ID
+    from repro.analysis import (
+        Baseline,
+        build_call_graph,
+        default_baseline_path,
+        report_to_sarif,
+        rules_for_ids,
+        run_lint,
+    )
 
     package_root = Path(args.root) if args.root else None
+    exclude = tuple(args.exclude or ())
+
+    if args.graph:
+        graph = build_call_graph(package_root=package_root, exclude=exclude)
+        print(json.dumps(graph.to_record(), indent=2))
+        return 0
+
     if args.no_baseline:
         baseline = Baseline()
         baseline_path = None
@@ -641,17 +654,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         baseline = Baseline.load(baseline_path)
     rules = None
     if args.rules:
-        unknown = [r for r in args.rules if r not in RULES_BY_ID]
-        if unknown:
-            print(
-                f"unknown rules: {', '.join(unknown)}; "
-                f"choices: {', '.join(RULES_BY_ID)}",
-                file=sys.stderr,
-            )
+        # Accept both `--rules R001 R002` and `--rules R001,R002`.
+        requested = [
+            rule_id.strip()
+            for chunk in args.rules
+            for rule_id in chunk.split(",")
+            if rule_id.strip()
+        ]
+        try:
+            rules = rules_for_ids(requested)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
             return 2
-        rules = [RULES_BY_ID[r] for r in args.rules]
 
-    report = run_lint(package_root=package_root, rules=rules, baseline=baseline)
+    report = run_lint(
+        package_root=package_root,
+        rules=rules,
+        baseline=baseline,
+        exclude=exclude,
+    )
 
     if args.write_baseline:
         if baseline_path is None:
@@ -663,6 +684,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         rendered = json.dumps(report.to_record(), indent=2)
+    elif args.format == "sarif":
+        rendered = json.dumps(report_to_sarif(report), indent=2)
     else:
         rendered = report.render()
     print(rendered)
@@ -671,6 +694,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             json.dumps(report.to_record(), indent=2) + "\n"
         )
         print(f"wrote {args.output}", file=sys.stderr)
+    if args.sarif:
+        Path(args.sarif).write_text(
+            json.dumps(report_to_sarif(report), indent=2) + "\n"
+        )
+        print(f"wrote {args.sarif}", file=sys.stderr)
     # Stale baseline entries fail the gate too: the baseline must stay
     # minimal, or fixed violations could silently regress.
     return 0 if report.ok and not report.stale_baseline else 1
@@ -905,7 +933,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="static determinism & calibration analysis"
     )
     lint_parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format on stdout",
     )
     lint_parser.add_argument(
@@ -913,13 +941,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to this path (CI artifact)",
     )
     lint_parser.add_argument(
+        "--sarif", default=None, metavar="SARIF",
+        help="also write a SARIF 2.1.0 report to this path (GitHub "
+        "code scanning)",
+    )
+    lint_parser.add_argument(
         "--rules", nargs="+", default=None, metavar="R00x",
-        help="restrict to a subset of rules",
+        help="restrict to a subset of rule ids (space- or "
+        "comma-separated; unknown ids are an error)",
     )
     lint_parser.add_argument(
         "--root", default=None, metavar="DIR",
         help="alternate package root to scan (default: the installed "
         "repro package)",
+    )
+    lint_parser.add_argument(
+        "--exclude", action="append", default=None, metavar="PREFIX",
+        help="root-relative path prefix to skip (repeatable; e.g. "
+        "fixture corpora that violate rules on purpose)",
+    )
+    lint_parser.add_argument(
+        "--graph", action="store_true",
+        help="dump the project call graph as JSON and exit (debug aid "
+        "for the taint pass)",
     )
     lint_parser.add_argument(
         "--baseline", default=None, metavar="JSON",

@@ -51,6 +51,16 @@ from repro.serve.service import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.models.predictor import DoraPredictor
 
+#: The pipe protocol's verbs, enumerated once.  The static gate's R103
+#: checks that every dispatch site -- the worker loop for requests, the
+#: router's reply pump for replies -- handles the complete set, so a
+#: verb added here without both handlers fails `repro lint` instead of
+#: hanging a pipe (or erroring a crash-recovery replay) at runtime.
+SHARD_REQUEST_VERBS = frozenset({"decide", "swap", "stats", "stop"})
+
+#: Replies the router-side pump must understand.
+SHARD_REPLY_VERBS = frozenset({"ok", "swapped", "error", "stats"})
+
 #: Upper bound on un-collected batches per worker: dispatching past it
 #: blocks on a collect first, so the reply pipe can never fill while
 #: the router keeps writing the request pipe (a classic two-pipe

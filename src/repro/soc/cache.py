@@ -121,7 +121,10 @@ class AnalyticSharedCache:
             insertion = {
                 d.task_id: d.accesses_per_s * ratios[d.task_id] for d in active
             }
-            total_insertion = sum(insertion.values())
+            # Summed in the ``active`` list's order (the same order the
+            # dict was built in), so the accumulation is canonical
+            # rather than tied to dict iteration.
+            total_insertion = sum(insertion[d.task_id] for d in active)
             if total_insertion <= 0:
                 break
             # Capacity splits by insertion rate, but no sharer occupies

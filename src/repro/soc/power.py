@@ -125,7 +125,10 @@ class DevicePowerModel:
             raise ValueError("miss rate must be non-negative")
         v_squared = state.voltage_v**2
         dynamic = 0.0
-        for activity in core_activity.values():
+        # Canonical core-id order: the float accumulation must not
+        # depend on the caller's dict insertion order.
+        for core_id in sorted(core_activity):
+            activity = core_activity[core_id]
             switching = (
                 activity.effective_capacitance_f
                 * activity.utilization

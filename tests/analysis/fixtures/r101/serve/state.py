@@ -1,0 +1,18 @@
+"""Fixture: violates exactly R101 (module-level lock in worker code).
+
+``shared_lock`` is the positive case; ``PerProcess`` shows the
+sanctioned shape (construct the resource inside ``__init__`` so each
+forked worker owns its own).
+"""
+
+import threading
+
+SHARED_LOCK = threading.Lock()
+
+
+class PerProcess:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def guard(self) -> bool:
+        return self._lock.acquire(blocking=False)

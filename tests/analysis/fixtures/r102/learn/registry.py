@@ -1,0 +1,25 @@
+"""Fixture: violates exactly R102 (non-atomic registry publish).
+
+``publish_racy`` writes the final path directly; ``publish_atomic``
+shows the sanctioned tmp-sibling + ``os.replace`` shape, and
+``append_event`` the sanctioned append-only stream.
+"""
+
+import os
+
+
+def publish_racy(path: str, payload: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(payload)
+
+
+def publish_atomic(path: str, payload: str) -> None:
+    tmp_path = f"{path}.{os.getpid()}.tmp"
+    with open(tmp_path, "w") as handle:
+        handle.write(payload)
+    os.replace(tmp_path, path)
+
+
+def append_event(path: str, line: str) -> None:
+    with open(path, "a") as handle:
+        handle.write(line + "\n")

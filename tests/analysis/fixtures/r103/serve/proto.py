@@ -1,0 +1,25 @@
+"""Fixture: violates exactly R103 (dispatch missing an enumerated verb).
+
+``worker_loop`` handles only two of the three ``JOB_VERBS``;
+``collect_loop`` is the negative case covering the full set.
+"""
+
+JOB_VERBS = frozenset({"run", "stop", "ping"})
+
+
+def worker_loop(verb: str) -> str:
+    if verb == "run":
+        return "ran"
+    if verb == "stop":
+        return "stopped"
+    raise ValueError(verb)
+
+
+def collect_loop(verb: str) -> str:
+    if verb == "run":
+        return "ran"
+    if verb == "stop":
+        return "stopped"
+    if verb == "ping":
+        return "pong"
+    raise ValueError(verb)

@@ -1,0 +1,13 @@
+"""Fixture: violates exactly R104 (lambda in a pipe-dispatched payload).
+
+``enqueue_lambda`` sends an unpicklable shape; ``enqueue_plain`` is the
+negative case sending data only.
+"""
+
+
+def enqueue_lambda(pipe, items):
+    pipe.send(("map", lambda item: item + 1, items))
+
+
+def enqueue_plain(pipe, items):
+    pipe.send(("map", items))

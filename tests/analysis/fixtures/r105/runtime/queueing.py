@@ -1,0 +1,17 @@
+"""Fixture: violates exactly R105 (shared-mutable default argument).
+
+``schedule_shared`` mutates a default list shared across calls;
+``schedule_fresh`` is the sanctioned None-default shape.
+"""
+
+
+def schedule_shared(job, seen=[]):
+    seen.append(job)
+    return seen
+
+
+def schedule_fresh(job, seen=None):
+    if seen is None:
+        seen = []
+    seen.append(job)
+    return seen

@@ -1,0 +1,10 @@
+"""Guarded module: reaches a clock two hops away."""
+
+from util.helpers import jitter
+
+
+def run(steps: int) -> float:
+    total = 0.0
+    for _ in range(steps):
+        total += jitter()
+    return total

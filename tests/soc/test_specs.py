@@ -89,7 +89,7 @@ class TestStateQueries:
 
     def test_bus_frequency_groups_partition_the_table(self, spec):
         groups = spec.bus_frequency_groups()
-        total = sum(len(states) for states in groups.values())
+        total = sum(len(groups[bus]) for bus in sorted(groups))
         assert total == len(spec.dvfs_table)
         assert len(groups) == 4  # 200 / 400 / 533 / 800 MHz bands
 
