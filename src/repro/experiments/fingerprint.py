@@ -39,10 +39,15 @@ from repro.soc.specs import PlatformSpec
 
 
 def _dataclass_defaults(cls: type) -> tuple[tuple[str, Any], ...]:
-    """(name, default) pairs of a dataclass's scalar field defaults."""
+    """(name, default) pairs of a dataclass's scalar field defaults.
+
+    Only constructor-visible fields count: ``init=False`` fields are
+    internal working state (memo caches and the like), not calibrated
+    model constants, so they must not perturb the fingerprint.
+    """
     pairs = []
     for field in dataclasses.fields(cls):
-        if field.default is not dataclasses.MISSING:
+        if field.init and field.default is not dataclasses.MISSING:
             pairs.append((field.name, field.default))
     return tuple(pairs)
 

@@ -28,7 +28,12 @@ Two trace sources feed the replays:
   pattern a real fleet produces instead of a uniform drip.  Because
   fleet rows are bit-identical to single-device runs, the twin's
   request *contents* equal the harvested path's exactly -- only the
-  arrival process differs.
+  arrival process differs.  The twin inherits the fleet engine's
+  batched cross-row regime planner for free (its recording-governor
+  rows never chain through decision boundaries -- every decision must
+  reach the recorder -- but the vectorized planning, grouped
+  accumulates and no-series thermal path all apply), and exposes the
+  planner's per-stage wall breakdown for attribution.
 """
 
 from __future__ import annotations
@@ -213,6 +218,7 @@ def twin_traces(
     combos: Sequence[WorkloadCombo] | None = None,
     config: HarnessConfig | None = None,
     max_observations: int = 64,
+    stage_seconds: dict[str, float] | None = None,
 ) -> list[DeviceTrace]:
     """Simulate the combo population live and keep its counters.
 
@@ -225,6 +231,12 @@ def twin_traces(
     by ``tests/serve/test_twin_loadgen.py``); what the twin adds is the
     per-device decision-epoch timing that
     :func:`twin_request_schedule` turns into live arrivals.
+
+    Pass a dict as ``stage_seconds`` to receive the fleet engine's
+    per-stage wall breakdown of the simulation
+    (:data:`repro.sim.fleet_engine._STAGES`), so twin-sourced benches
+    can attribute their trace-generation cost to the batched planner's
+    stages.
     """
     config = config or HarnessConfig()
     combos = tuple(combos) if combos is not None else all_combos()[:6]
@@ -233,7 +245,13 @@ def twin_traces(
         _twin_row_engine(combo, config, recorder)
         for combo, recorder in zip(combos, recorders)
     ]
-    FleetEngine(engines=engines).run()
+    fleet = FleetEngine(
+        engines=engines,
+        clock=time.perf_counter if stage_seconds is not None else None,
+    )
+    fleet.run()
+    if stage_seconds is not None:
+        stage_seconds.update(fleet.stage_seconds)
     traces: list[DeviceTrace] = []
     for combo, recorder in zip(combos, recorders):
         observations = tuple(recorder.observations[:max_observations])

@@ -56,6 +56,7 @@ from repro.soc.cache import CacheDemand
 from repro.soc.counters import CoreCounters
 from repro.soc.cpu import CpiInputs, effective_cpi
 from repro.soc.device import Device
+from repro.soc.leakage import LeakageParameters
 from repro.soc.power import CoreActivity
 
 #: Regimes shorter than this run through the single-step path (the
@@ -67,6 +68,10 @@ _MAX_REGIME_STEPS = 131072
 #: Preallocated trace capacity is capped here; longer runs grow.
 _MAX_TRACE_PREALLOC = 262144
 
+#: The activity of an online-but-idle core never varies; one frozen
+#: instance serves every step of every run.
+_IDLE_ACTIVITY = CoreActivity(utilization=0.0, effective_capacitance_f=0.0)
+
 #: Cross-run cache of cache/bus/CPI equilibria, used by the fast path.
 #: The equilibrium is a pure function of the (frozen) cache and memory
 #: models, the operating point, and the running phases, so solutions
@@ -76,14 +81,79 @@ _MAX_TRACE_PREALLOC = 262144
 _EQUILIBRIUM_CACHE: dict = {}
 _EQUILIBRIUM_CACHE_CAP = 4096
 
+class _LruCache:
+    """Insertion-ordered LRU cache with hit/miss/evict counters.
+
+    Plain dicts preserve insertion order, so delete-and-reinsert on
+    every hit keeps the first key the least recently used one; at
+    capacity exactly that key is evicted.  The previous wholesale
+    ``clear()``-at-cap policy dropped the entire working set the moment
+    a heterogeneous fleet overflowed it, resetting the hit rate to zero
+    -- the counters here exist so cache health shows up in telemetry
+    instead of only in wall time.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            self.misses += 1
+            return None
+        # Reinsert to mark most-recently-used.
+        self._entries[key] = entry
+        self.hits += 1
+        return entry
+
+    def put(self, key, value) -> None:
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        elif len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
+            self.evictions += 1
+        entries[key] = value
+
+    def clear(self) -> None:
+        """Drop all entries (counters keep their lifetime totals)."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters plus the current fill level."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
 #: Cross-run cache of :class:`_RegimeTemplate` objects.  A template is
 #: a pure function of the (frozen) power/cache/memory models, dt, the
 #: operating point, the running ``(core, phase)`` placement and the
 #: online-core set; everything it holds is read-only once built, so
 #: sharing across runs is safe and skips the equilibrium solve *and*
-#: the reference breakdown on repeat combos.
-_TEMPLATE_CACHE: dict = {}
+#: the reference breakdown on repeat combos.  LRU-evicted (see
+#: :class:`_LruCache`) so heterogeneous fleets shed only the coldest
+#: combos instead of thrashing the whole cache.
 _TEMPLATE_CACHE_CAP = 2048
+_TEMPLATE_CACHE = _LruCache(_TEMPLATE_CACHE_CAP)
+
+
+def template_cache_stats() -> dict[str, int]:
+    """Hit/miss/evict counters of the shared template cache."""
+    return _TEMPLATE_CACHE.stats()
 
 
 @dataclass(frozen=True)
@@ -279,6 +349,13 @@ class _LoopState:
     last_phase: dict[str, int]
     equilibrium_memo: dict
     regime_templates: dict
+    #: Fleet-level template index shared by every row of one
+    #: :class:`~repro.sim.fleet_engine.FleetEngine` run (``None`` for
+    #: solo runs).  Sits between the per-run memo and the global LRU
+    #: cache: rows with identical ``(power model, cache, state,
+    #: phases)`` keys build one template instead of one each, and the
+    #: fleet's working set cannot be evicted mid-run.
+    shared_templates: dict | None
     #: Reusable planning-table scratch, keyed by row count.  Regimes
     #: overwrite every cell they read, so nothing carries over.
     series_buffers: dict
@@ -313,11 +390,21 @@ class _RegimeTemplate:
     #: ``increments`` as a column vector, ready to broadcast into the
     #: planning table without a per-regime reshape.
     increments_col: np.ndarray
+    #: ``increments`` as a plain list, ready to extend a batched
+    #: planning group's flat increment vector without a per-epoch
+    #: ``tolist`` round trip.
+    increments_list: list[float]
     core_dynamic_w: float
     memory_w: float
     non_leakage_w: float
     rest_of_device_w: float
     leak_power_of_c: object
+    #: ``(k1v, slope, gate)`` when the device's leakage is the stock
+    #: Equation 5 model -- lets the fleet engine's no-series thermal
+    #: pass inline the leakage term (bit-identical to the closure).
+    #: ``None`` for custom leakage models, which fall back to calling
+    #: the closure per step.
+    leak_constants: tuple[float, float, float] | None
     per_core_power: dict[int, float]
 
 
@@ -397,6 +484,7 @@ class Engine:
             # active phases); solve it once per combination and reuse.
             equilibrium_memo={},
             regime_templates={},
+            shared_templates=None,
             series_buffers={},
             core_plan=core_plan,
             gating_ids=set(core_plan.gating_task_ids),
@@ -465,8 +553,13 @@ class Engine:
         loop.equilibrium_memo[memo_key] = equilibrium
         return equilibrium
 
-    def _decide(self, loop: _LoopState, state) -> None:
-        """One governor decision point (shared by both paths)."""
+    def _decision_sample(self, loop: _LoopState, state):
+        """Drain the counter window for one governor decision point.
+
+        Also stamps the run context's clock -- after this call the
+        governor (scalar ``decide`` or a batched ``decide_rows``) sees
+        exactly the state the reference loop's decision would.
+        """
         device = self.device
         sample = device.counters.drain(
             freq_hz=state.freq_hz,
@@ -477,10 +570,19 @@ class Engine:
             },
         )
         self.context.elapsed_s = loop.time_s
-        target = self.governor.decide(sample, self.context)
+        return sample
+
+    def _apply_decision(self, loop: _LoopState, target: float) -> None:
+        """Record and actuate one governor decision."""
         loop.decisions.record(loop.time_s, target)
-        loop.pending_stall_s += device.actuator.set_frequency(target)
+        loop.pending_stall_s += self.device.actuator.set_frequency(target)
         loop.window_s = 0.0
+
+    def _decide(self, loop: _LoopState, state) -> None:
+        """One governor decision point (shared by both paths)."""
+        sample = self._decision_sample(loop, state)
+        target = self.governor.decide(sample, self.context)
+        self._apply_decision(loop, target)
 
     # -- the per-step reference path -----------------------------------
     def _step(self, loop: _LoopState) -> bool:
@@ -507,13 +609,15 @@ class Engine:
         )
 
         # 3. Progress + 5. counters.
+        record = self.config.record_trace
+        counters = device.counters
         activities: dict[int, CoreActivity] = {}
         per_core_power: dict[int, float] = {}
         for task in running:
             phase = task.current_phase
             if loop.last_phase[task.task_id] != task.phase_index:
                 loop.last_phase[task.task_id] = task.phase_index
-                if self.config.record_trace:
+                if record:
                     loop.trace.phase_starts.append(
                         (loop.time_s, task.task_id, phase.name)
                     )
@@ -531,7 +635,7 @@ class Engine:
             summary.l2_misses += misses
             summary.busy_s += busy_s
 
-            device.counters.add(
+            counters.add(
                 core=task.core,
                 busy_s=busy_s,
                 instructions=retired,
@@ -549,15 +653,13 @@ class Engine:
                 * state.voltage_v**2
                 * state.freq_hz
             )
-            if task.finished and self.config.record_trace:
+            if task.finished and record:
                 loop.trace.completions.append((loop.time_s + dt, task.task_id))
 
         # Online-but-idle cores (their task already finished).
         for core in loop.core_plan.online_cores:
             if core not in activities:
-                activities[core] = CoreActivity(
-                    utilization=0.0, effective_capacitance_f=0.0
-                )
+                activities[core] = _IDLE_ACTIVITY
                 per_core_power[core] = 0.0
 
         # 4. Power and heat.
@@ -570,9 +672,9 @@ class Engine:
         device.thermal.step(breakdown.soc_w, dt, per_core_power)
         loop.energy_j += breakdown.total_w * dt
         loop.temperature_integral += device.thermal.soc_temperature_c * dt
-        device.counters.advance(dt)
+        counters.advance(dt)
         loop.time_s += dt
-        if self.config.record_trace:
+        if record:
             loop.trace.record(
                 loop.time_s, state.freq_hz, breakdown,
                 device.thermal.soc_temperature_c,
@@ -644,9 +746,7 @@ class Engine:
             )
         for core in loop.core_plan.online_cores:
             if core not in activities:
-                activities[core] = CoreActivity(
-                    utilization=0.0, effective_capacitance_f=0.0
-                )
+                activities[core] = _IDLE_ACTIVITY
                 per_core_power[core] = 0.0
         base = device.power_model.breakdown(
             state=state,
@@ -655,11 +755,18 @@ class Engine:
             temperature_c=device.thermal.soc_temperature_c,
         )
         increment_array = np.array(increments)
+        leakage = device.power_model.leakage
+        leak_constants = (
+            leakage.bound_constants(state.voltage_v)
+            if type(leakage) is LeakageParameters
+            else None
+        )
         return _RegimeTemplate(
             budgets=budgets,
             instructions=instructions,
             increments=increment_array,
             increments_col=increment_array.reshape(-1, 1),
+            increments_list=increments,
             core_dynamic_w=base.core_dynamic_w,
             memory_w=base.memory_w,
             non_leakage_w=base.core_dynamic_w + base.memory_w,
@@ -667,82 +774,62 @@ class Engine:
             leak_power_of_c=device.power_model.leakage.bound_evaluator(
                 state.voltage_v
             ),
+            leak_constants=leak_constants,
             per_core_power=per_core_power,
         )
 
-    def _plan_regime(self, loop: _LoopState) -> _RegimePlan | None:
-        """Plan (and validate) the bulk steps to the next event.
+    def _regime_template(
+        self, loop: _LoopState, state, running: list[Task]
+    ) -> _RegimeTemplate:
+        """Look up (or build) the template of the current regime.
 
-        Returns ``None`` when this iteration is not bulkable (pending
-        stall, an event within the next couple of steps, no runnable
-        tasks) and the caller should take the single-step path.  A
-        returned plan has already advanced the planning table; only the
-        thermal integration and the write-back
-        (:meth:`_execute_plan`) remain.
+        Three levels, cheapest first: the per-run memo (keyed by the
+        run-local ``(frequency, task phases)``), the fleet-level shared
+        index when this loop belongs to a
+        :class:`~repro.sim.fleet_engine.FleetEngine` (rows with equal
+        device models and placements share one template per operating
+        point), and the global LRU cache.  A build populates all the
+        levels it missed.
         """
-        if loop.pending_stall_s > 0:
-            return None
-        device = self.device
-        dt = loop.dt
-        state = device.state
-        running = [task for task in self.tasks if task.running]
-        if not running:
-            return None
         key = (
             state.freq_hz,
             tuple((task.task_id, task.phase_index) for task in running),
         )
         template = loop.regime_templates.get(key)
         if template is None:
+            device = self.device
             shared_key = (
                 device.power_model,
                 device.cache,
                 device.memory,
-                dt,
+                loop.dt,
                 state,
                 tuple((task.core, task.current_phase) for task in running),
                 loop.core_plan.online_cores,
             )
-            template = _TEMPLATE_CACHE.get(shared_key)
+            shared = loop.shared_templates
+            template = None if shared is None else shared.get(shared_key)
             if template is None:
-                template = self._build_template(loop, state, running)
-                if len(_TEMPLATE_CACHE) >= _TEMPLATE_CACHE_CAP:
-                    _TEMPLATE_CACHE.clear()
-                _TEMPLATE_CACHE[shared_key] = template
+                template = _TEMPLATE_CACHE.get(shared_key)
+                if template is None:
+                    template = self._build_template(loop, state, running)
+                    _TEMPLATE_CACHE.put(shared_key, template)
+                if shared is not None:
+                    shared[shared_key] = template
             loop.regime_templates[key] = template
-        budgets = template.budgets
-        instructions = template.instructions
-        interval = self.governor.interval_s
-        max_time = self.config.max_time_s
+        return template
 
-        # Scalar estimate of the steps to the nearest event: a phase
-        # crossing excludes its step from the regime, the timeout and a
-        # decision boundary include theirs.  Float drift moves the true
-        # event index by at most a step; the exact check below corrects.
-        n = int(min(
-            (max_time - loop.time_s) / dt, (interval - loop.window_s) / dt
-        )) + 1
-        for task, budget, instr in zip(running, budgets, instructions):
-            estimate = int((instr - task.instructions_done_in_phase) / budget)
-            if estimate < n:
-                n = estimate
-        if n < _MIN_REGIME_STEPS:
-            # The event is provably within the next n + 1 steps, and the
-            # caller falls through to a _step right now -- skip the
-            # doomed re-attempts for the n steps after it.
-            loop.regime_cooldown = n
-            return None
-        clamped = n > _MAX_REGIME_STEPS
-        if clamped:
-            n = _MAX_REGIME_STEPS
+    def _plan_bases(self, loop: _LoopState, running: list[Task]) -> list[float]:
+        """Current running totals, in planning-table row order.
 
-        # Running totals for everything a constant regime accumulates:
-        # row 0 simulated time, row 1 the governor window, row 2 the
-        # counter-window clock, then ten rows per task (phase progress,
-        # lifetime instructions, the four summary fields, the four
-        # counter-window fields).  One sequential cumsum resumes all of
-        # them bit-identically to the scalar loop.
-        counters = device.counters
+        Row 0 simulated time, row 1 the governor window, row 2 the
+        counter-window clock, then ten rows per task (phase progress,
+        lifetime instructions, the four summary fields, the four
+        counter-window fields).  One sequential cumsum over these bases
+        and the template's per-step increments resumes all of them
+        bit-identically to the scalar loop.
+        """
+        counters = self.device.counters
         bases = [loop.time_s, loop.window_s, counters.elapsed_s]
         for task in running:
             summary = loop.summaries[task.task_id]
@@ -759,33 +846,46 @@ class Engine:
                 window.l2_accesses,
                 window.l2_misses,
             ]
-        rows = len(bases)
-        buffer = loop.series_buffers.get(rows)
-        if buffer is None or buffer.shape[1] < n + 1:
-            buffer = np.empty((rows, max(n + 1, 64)))
-            loop.series_buffers[rows] = buffer
-        # In-place resumed cumulative sums: column 0 carries the running
-        # totals, every later column the per-step increment, and the
-        # accumulate sweeps left to right -- the same strictly
-        # sequential summation order as the scalar reference loop (and
-        # as :func:`repro.soc.numerics.accumulate_rows`, whose
-        # allocation this scratch buffer avoids).
-        series = buffer[:, : n + 1]
-        series[:, 0] = bases
-        series[:, 1:] = template.increments_col
-        np.add.accumulate(series, axis=1, out=series)
+        return bases
 
-        # Exact event check at the regime boundary.  Every per-step
-        # event predicate is monotone in the step index (the underlying
-        # totals only grow), so checking steps ``n`` and ``n - 1``
-        # covers the whole regime:
-        # * a crossed phase at step n, or a step whose pre-state
-        #   violates ``budget <= instructions - done`` (the condition
-        #   for the reference's ``min(budget, left_in_phase)`` to
-        #   reduce to a plain ``+= budget``), must stay out of bulk;
-        # * the timeout and decision events may land exactly on step n
-        #   but not earlier.
-        while n >= _MIN_REGIME_STEPS:
+    def _seal_plan(
+        self,
+        loop: _LoopState,
+        state,
+        running: list[Task],
+        template: _RegimeTemplate,
+        series: np.ndarray,
+        n: int,
+        clamped: bool,
+        min_steps: int = _MIN_REGIME_STEPS,
+        decision_check: bool = True,
+    ) -> _RegimePlan | None:
+        """Exact event check at the regime boundary of a summed table.
+
+        Every per-step event predicate is monotone in the step index
+        (the underlying totals only grow), so checking steps ``n`` and
+        ``n - 1`` covers the whole regime:
+
+        * a crossed phase at step n, or a step whose pre-state violates
+          ``budget <= instructions - done`` (the condition for the
+          reference's ``min(budget, left_in_phase)`` to reduce to a
+          plain ``+= budget``), must stay out of bulk;
+        * the timeout and decision events may land exactly on step n
+          but not earlier.
+
+        With ``decision_check=False`` the decision boundary neither
+        trims nor flags the plan: the caller (the fleet engine's
+        chained planner) lets provably no-op decisions pass through the
+        regime and bookkeeps them itself.
+
+        Returns the validated plan, or ``None`` (with the cooldown set)
+        when fewer than ``min_steps`` steps survive the trim.
+        """
+        budgets = template.budgets
+        instructions = template.instructions
+        interval = self.governor.interval_s
+        max_time = self.config.max_time_s
+        while n >= min_steps:
             # Python-float columns: the checks below (and the write-back
             # after) read boundary cells many times, and one ``tolist``
             # beats repeated NumPy scalar indexing.
@@ -801,13 +901,13 @@ class Engine:
                     break
             if valid and last[0] >= max_time and prev[0] >= max_time:
                 valid = False
-            if valid and last[1] + 1e-12 >= interval \
+            if valid and decision_check and last[1] + 1e-12 >= interval \
                     and prev[1] + 1e-12 >= interval:
                 valid = False
             if valid:
                 break
             n -= 1
-        if n < _MIN_REGIME_STEPS:
+        if n < min_steps:
             loop.regime_cooldown = n
             return None
         return _RegimePlan(
@@ -817,8 +917,83 @@ class Engine:
             series=series,
             n=n,
             last=last,
-            decision_due=last[1] + 1e-12 >= interval,
+            decision_due=decision_check and last[1] + 1e-12 >= interval,
             clamped=clamped,
+        )
+
+    def _plan_regime(
+        self, loop: _LoopState, min_steps: int = _MIN_REGIME_STEPS
+    ) -> _RegimePlan | None:
+        """Plan (and validate) the bulk steps to the next event.
+
+        Returns ``None`` when this iteration is not bulkable (pending
+        stall, an event within the next ``min_steps`` steps, no
+        runnable tasks) and the caller should take the single-step
+        path.  A returned plan has already advanced the planning table;
+        only the thermal integration and the write-back
+        (:meth:`_execute_plan`) remain.
+
+        ``min_steps`` is a pure execution-strategy knob: any regime
+        the seal validates commits exactly the values the scalar loop
+        would produce, however short, so callers that amortize the
+        planning overhead across rows (the fleet engine) profitably
+        bulk even single-step regimes, while the solo path keeps the
+        :data:`_MIN_REGIME_STEPS` floor below which its fixed cost
+        loses to plain steps.
+        """
+        if loop.pending_stall_s > 0:
+            return None
+        dt = loop.dt
+        state = self.device.state
+        running = [task for task in self.tasks if task.running]
+        if not running:
+            return None
+        template = self._regime_template(loop, state, running)
+        interval = self.governor.interval_s
+        max_time = self.config.max_time_s
+
+        # Scalar estimate of the steps to the nearest event: a phase
+        # crossing excludes its step from the regime, the timeout and a
+        # decision boundary include theirs.  Float drift moves the true
+        # event index by at most a step; the exact check in the seal
+        # corrects.
+        n = int(min(
+            (max_time - loop.time_s) / dt, (interval - loop.window_s) / dt
+        )) + 1
+        for task, budget, instr in zip(
+            running, template.budgets, template.instructions
+        ):
+            estimate = int((instr - task.instructions_done_in_phase) / budget)
+            if estimate < n:
+                n = estimate
+        if n < min_steps:
+            # The event is provably within the next n + 1 steps, and the
+            # caller falls through to a _step right now -- skip the
+            # doomed re-attempts for the n steps after it.
+            loop.regime_cooldown = n
+            return None
+        clamped = n > _MAX_REGIME_STEPS
+        if clamped:
+            n = _MAX_REGIME_STEPS
+
+        bases = self._plan_bases(loop, running)
+        rows = len(bases)
+        buffer = loop.series_buffers.get(rows)
+        if buffer is None or buffer.shape[1] < n + 1:
+            buffer = np.empty((rows, max(n + 1, 64)))
+            loop.series_buffers[rows] = buffer
+        # In-place resumed cumulative sums: column 0 carries the running
+        # totals, every later column the per-step increment, and the
+        # accumulate sweeps left to right -- the same strictly
+        # sequential summation order as the scalar reference loop (and
+        # as :func:`repro.soc.numerics.accumulate_rows`, whose
+        # allocation this scratch buffer avoids).
+        series = buffer[:, : n + 1]
+        series[:, 0] = bases
+        series[:, 1:] = template.increments_col
+        np.add.accumulate(series, axis=1, out=series)
+        return self._seal_plan(
+            loop, state, running, template, series, n, clamped, min_steps
         )
 
     def _run_regime(self, loop: _LoopState) -> int:
@@ -860,6 +1035,7 @@ class Engine:
         temp_c,
         energy_j: float,
         temperature_integral: float,
+        decide: bool = True,
     ) -> None:
         """Commit an integrated regime: tables, trace, decision point.
 
@@ -869,6 +1045,11 @@ class Engine:
         ``energy_j`` / ``temperature_integral`` the accumulators
         already advanced over them.  The device's thermal state must
         already hold the regime's end temperature.
+
+        With ``decide=False`` a due decision point is left to the
+        caller (the fleet engine batches its rows' decisions through
+        one governor-kernel pass after all write-backs commit); the
+        caller must then perform it before the row advances again.
         """
         state = regime.state
         running = regime.running
@@ -923,7 +1104,8 @@ class Engine:
         # phase crossing, which ends the regime beforehand), so the
         # only post-step action left is the decision point.
         if regime.decision_due:
-            self._decide(loop, state)
+            if decide:
+                self._decide(loop, state)
         elif not regime.clamped:
             # The regime ended for a reason other than a decision or the
             # planning-horizon clamp, so the very next step hits a phase

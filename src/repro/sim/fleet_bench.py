@@ -13,12 +13,17 @@ meaningful because the fleet rows are bit-identical to single-device
 runs (``tests/sim/test_fleet_engine.py`` holds the exhaustive
 ``ReferenceEngine`` version of that contract).
 
-The cross-row win amortizes the regime-interior thermal/leakage
-recurrence (one struct-of-arrays column sweep instead of one Python
-loop per device), so the speedup grows with row count; the
-event-adjacent scalar work is identical on both sides by design.  On
-single-CPU hosts the envelope is marked ``degraded_host`` and the
-acceptance bar relaxes to equality-only (see
+The cross-row win amortizes the per-row Python overhead of the
+regime-stepped fast path: one batched epoch plan (SoA event-distance
+estimate + grouped accumulates + chained no-op decisions) replaces N
+scalar ``_plan_regime`` calls, and the regime-interior thermal/leakage
+recurrences advance in shared passes instead of one Python loop per
+device.  The speedup grows with row count; the event-adjacent scalar
+work (phase-crossing steps) is identical on both sides by design and
+bounds it from above.  Each entry carries the fleet's per-stage wall
+breakdown so a regression is attributable to a stage.  On single-CPU
+hosts the envelope is marked ``degraded_host`` and the acceptance bar
+relaxes to equality-only (see
 ``benchmarks/test_fleetsim_throughput.py``).
 
 Used by ``benchmarks/test_fleetsim_throughput.py`` (writes
@@ -77,22 +82,27 @@ def _assert_rows_equivalent(
 
 def _time_fleet(
     rows: int, seed: int, repeats: int
-) -> tuple[float, float]:
+) -> tuple[float, float, dict[str, float]]:
     """Best-of-``repeats`` wall times at one row count.
 
-    Returns ``(solo_s, fleet_s)``.  Mirrors ``sim/bench.py``: engines
-    are built once and timed repeatedly (``run()`` resets all state;
-    rebuilding would bury the timing in workload-construction noise),
-    the warmup runs double as the equivalence check, and the two sides
-    alternate so background load drift cancels out of the ratio.
+    Returns ``(solo_s, fleet_s, stage_seconds)``.  Mirrors
+    ``sim/bench.py``: engines are built once and timed repeatedly
+    (``run()`` resets all state; rebuilding would bury the timing in
+    workload-construction noise), the warmup runs double as the
+    equivalence check, and the two sides alternate so background load
+    drift cancels out of the ratio.  ``stage_seconds`` is the
+    per-stage breakdown (:data:`repro.sim.fleet_engine._STAGES`) of
+    the *fastest* fleet run, so a throughput regression in
+    ``BENCH_fleetsim.json`` is attributable to a pipeline stage.
     """
     specs = heterogeneous_fleet(rows, seed=seed)
-    fleet_engine = FleetEngine(rows=specs)
+    fleet_engine = FleetEngine(rows=specs, clock=time.perf_counter)
     solo_engines = [build_row_engine(spec) for spec in specs]
     fleet_results = fleet_engine.run()
     solo_results = [engine.run() for engine in solo_engines]
     _assert_rows_equivalent(fleet_results, solo_results)
     solo_best = fleet_best = float("inf")
+    stage_seconds = dict(fleet_engine.stage_seconds)
     for _ in range(max(1, repeats)):
         started = time.perf_counter()
         for engine in solo_engines:
@@ -100,8 +110,11 @@ def _time_fleet(
         solo_best = min(solo_best, time.perf_counter() - started)
         started = time.perf_counter()
         fleet_engine.run()
-        fleet_best = min(fleet_best, time.perf_counter() - started)
-    return solo_best, fleet_best
+        elapsed = time.perf_counter() - started
+        if elapsed < fleet_best:
+            fleet_best = elapsed
+            stage_seconds = dict(fleet_engine.stage_seconds)
+    return solo_best, fleet_best, stage_seconds
 
 
 def run_fleetsim_bench(
@@ -131,7 +144,7 @@ def run_fleetsim_bench(
         raise ValueError("need at least one row count")
     entries = []
     for rows in counts:
-        solo_s, fleet_s = _time_fleet(rows, seed, repeats)
+        solo_s, fleet_s, stage_seconds = _time_fleet(rows, seed, repeats)
         entries.append(
             {
                 "rows": rows,
@@ -140,17 +153,26 @@ def run_fleetsim_bench(
                 "solo_rows_per_s": rows / solo_s,
                 "fleet_rows_per_s": rows / fleet_s,
                 "speedup": solo_s / fleet_s,
+                "stage_ms": {
+                    stage: seconds * 1e3
+                    for stage, seconds in stage_seconds.items()
+                },
             }
         )
 
     from repro.experiments.reporting import bench_envelope
 
+    peak = max(entries, key=lambda entry: entry["rows"])
     record = {
-        "envelope": bench_envelope("fleetsim-bench", repeats=repeats),
+        "envelope": bench_envelope(
+            "fleetsim-bench",
+            repeats=repeats,
+            extra={"peak_stage_ms": peak["stage_ms"]},
+        ),
         "repeats": repeats,
         "seed": seed,
         "row_counts": entries,
-        "peak": max(entries, key=lambda entry: entry["rows"]),
+        "peak": peak,
     }
     if output_path is not None:
         path = Path(output_path)

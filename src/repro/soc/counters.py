@@ -99,6 +99,11 @@ class CounterSample:
         return sum(self.utilization(core) for core in cores) / len(cores)
 
 
+#: Shared all-zero window (frozen, so one instance can seed every
+#: first-touch merge in :meth:`CounterBank.add`).
+_ZERO_COUNTERS = CoreCounters()
+
+
 @dataclass
 class CounterBank:
     """Accumulates raw events between governor samples."""
@@ -114,15 +119,20 @@ class CounterBank:
         l2_accesses: float,
         l2_misses: float,
     ) -> None:
-        """Accumulate one engine step's events for a core."""
-        current = self._windows.get(core, CoreCounters())
-        self._windows[core] = current.merged(
-            CoreCounters(
-                busy_s=busy_s,
-                instructions=instructions,
-                l2_accesses=l2_accesses,
-                l2_misses=l2_misses,
-            )
+        """Accumulate one engine step's events for a core.
+
+        Builds the merged window directly -- the same four additions as
+        ``current.merged(CoreCounters(...))``, without materializing the
+        two intermediate objects (this runs twice per engine step).
+        """
+        current = self._windows.get(core)
+        if current is None:
+            current = _ZERO_COUNTERS
+        self._windows[core] = CoreCounters(
+            busy_s=current.busy_s + busy_s,
+            instructions=current.instructions + instructions,
+            l2_accesses=current.l2_accesses + l2_accesses,
+            l2_misses=current.l2_misses + l2_misses,
         )
 
     def advance(self, dt_s: float) -> None:
@@ -155,6 +165,18 @@ class CounterBank:
             raise ValueError("window length must be non-negative")
         self._elapsed_s = elapsed_s
         self._windows.update(per_core)
+
+    def reset_windows(self) -> None:
+        """Close the current window without materializing a sample.
+
+        Exactly :meth:`drain`'s state transition, minus the
+        :class:`CounterSample`.  For decision points whose sample is
+        provably unobservable (a fixed-frequency governor ignores it,
+        and the decision log records only time and target), this is all
+        a drain does to future behaviour.
+        """
+        self._windows = {}
+        self._elapsed_s = 0.0
 
     def drain(
         self,

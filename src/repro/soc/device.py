@@ -12,14 +12,43 @@ narrow userspace-governor interface the paper implements on Android
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.soc.cache import AnalyticSharedCache
 from repro.soc.counters import CounterBank
 from repro.soc.dvfs import DvfsActuator, SwitchCost
 from repro.soc.memory import MemoryContentionModel
 from repro.soc.power import DevicePowerModel, nexus5_power_model
-from repro.soc.specs import DvfsState, PlatformSpec, nexus5_spec
+from repro.soc.specs import DvfsState, MemorySpec, PlatformSpec, nexus5_spec
 from repro.soc.thermal import AmbientScenario, ThermalModel, room_temperature
+
+
+# The static platform description and the physics models are frozen
+# dataclasses -- pure parameter bundles with no run state -- so every
+# device built from the same configuration can share one instance.
+# Identity-sharing matters beyond memory: the fleet engine groups rows
+# for batched governor decisions by spec identity, and the fast path's
+# cross-run template/equilibrium caches key on these objects, so shared
+# instances make a 256-row fleet's lookups hit one working set instead
+# of 256 disjoint ones.
+@lru_cache(maxsize=None)
+def _shared_nexus5_spec() -> PlatformSpec:
+    return nexus5_spec()
+
+
+@lru_cache(maxsize=None)
+def _shared_nexus5_power_model() -> DevicePowerModel:
+    return nexus5_power_model()
+
+
+@lru_cache(maxsize=64)
+def _shared_cache_model(geometry, theta: float) -> AnalyticSharedCache:
+    return AnalyticSharedCache(geometry=geometry, theta=theta)
+
+
+@lru_cache(maxsize=64)
+def _shared_memory_model(spec: MemorySpec) -> MemoryContentionModel:
+    return MemoryContentionModel(spec=spec)
 
 
 @dataclass(frozen=True)
@@ -34,8 +63,10 @@ class DeviceConfig:
         cache_theta: Sharpness of the cache miss-rate curve.
     """
 
-    spec: PlatformSpec = field(default_factory=nexus5_spec)
-    power_model: DevicePowerModel = field(default_factory=nexus5_power_model)
+    spec: PlatformSpec = field(default_factory=_shared_nexus5_spec)
+    power_model: DevicePowerModel = field(
+        default_factory=_shared_nexus5_power_model
+    )
     ambient: AmbientScenario = field(default_factory=room_temperature)
     switch_cost: SwitchCost = field(default_factory=SwitchCost)
     cache_theta: float = 0.75
@@ -61,10 +92,10 @@ class Device:
         self.thermal = ThermalModel.for_scenario(self.config.ambient)
         self.actuator = DvfsActuator(spec=self.spec, cost=self.config.switch_cost)
         self.counters = CounterBank()
-        self.cache = AnalyticSharedCache(
-            geometry=self.spec.l2_geometry, theta=self.config.cache_theta
+        self.cache = _shared_cache_model(
+            self.spec.l2_geometry, self.config.cache_theta
         )
-        self.memory = MemoryContentionModel(spec=self.spec.memory)
+        self.memory = _shared_memory_model(self.spec.memory)
 
     @property
     def state(self) -> DvfsState:

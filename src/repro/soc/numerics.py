@@ -21,14 +21,25 @@ rely on.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Sequence
 
 import numpy as np
 from numpy.typing import ArrayLike
 
+from repro.soc.leakage import KELVIN_OFFSET
+
+#: Below this many live rows a thermal-sweep column runs through the
+#: scalar per-row recurrence instead of array ops (same expressions,
+#: same rounding; purely an execution-strategy switch).
+_SCALAR_TAIL_ROWS = 4
+
 
 def accumulate_rows(
-    bases: ArrayLike, increments: ArrayLike, steps: int | None = None
+    bases: ArrayLike,
+    increments: ArrayLike,
+    steps: int | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Row-wise running totals, bit-identical to scalar ``+=`` loops.
 
@@ -40,6 +51,11 @@ def accumulate_rows(
             then required).
         steps: Number of accumulation steps when ``increments`` is a
             per-row constant vector.
+        out: Optional float64 scratch of at least
+            ``(rows, steps + 1)``; the table is built and accumulated
+            in place in its top-left corner, skipping both allocations.
+            Callers planning thousands of small regimes (the fleet
+            engine's grouped accumulates) reuse one buffer per group.
 
     Returns:
         Array of shape ``(rows, steps + 1)`` where column 0 is
@@ -58,10 +74,113 @@ def accumulate_rows(
         width = increments.shape[1]
         if steps is not None and steps != width:
             raise ValueError("steps disagrees with increments' width")
-    table = np.empty((bases.shape[0], width + 1), dtype=np.float64)
+    rows = bases.shape[0]
+    if out is None:
+        table = np.empty((rows, width + 1), dtype=np.float64)
+    else:
+        if out.dtype != np.float64:
+            raise ValueError("out must be a float64 scratch")
+        if out.shape[0] < rows or out.shape[1] < width + 1:
+            raise ValueError("out is too small for the requested table")
+        table = out[:rows, : width + 1]
     table[:, 0] = bases
     table[:, 1:] = increments
-    return np.cumsum(table, axis=1)
+    return np.cumsum(table, axis=1, out=table)
+
+
+def advance_thermal_rows(
+    steps: Sequence[int],
+    dt_s: Sequence[float],
+    decay: Sequence[float],
+    ambient_c: Sequence[float],
+    r_th_c_per_w: Sequence[float],
+    non_leakage_soc_w: Sequence[float],
+    rest_of_device_w: Sequence[float],
+    leak_power_of_c: Sequence[Callable[[float], float]],
+    leak_constants: Sequence[tuple[float, float, float] | None],
+    temperature_c: Sequence[float],
+    energy_j: Sequence[float],
+    temperature_integral: Sequence[float],
+) -> tuple[list[float], list[float], list[float]]:
+    """Advance many thermal recurrences without materializing series.
+
+    The per-step ``leak_w`` / ``total_w`` / ``temp_c`` matrices of
+    :func:`integrate_thermal_rows` exist only to feed trace recording;
+    rows that do not record a trace need just the three advanced
+    accumulators.  This variant runs the identical scalar recurrence
+    (same expressions, same strictly sequential order, so the same
+    IEEE-754 roundings) row-major over plain Python floats, writing
+    nothing per step.
+
+    ``leak_constants[row]`` may carry the Equation 5 constants from
+    :meth:`repro.soc.leakage.LeakageParameters.bound_constants`; the
+    leakage term is then inlined (bit-identical to the closure, whose
+    own body is this expression).  A ``None`` entry falls back to
+    calling ``leak_power_of_c[row]`` per step, so custom leakage models
+    stay exact too.
+
+    Args:
+        steps: Per-row step counts, all >= 1 (any order).
+        dt_s / decay / ambient_c / r_th_c_per_w: Per-row step duration,
+            ``exp(-dt / tau)``, environment temperature and thermal
+            resistance, as Python-float sequences.
+        non_leakage_soc_w / rest_of_device_w: Per-row constant powers.
+        leak_power_of_c: Per-row leakage closures (fallback path).
+        leak_constants: Per-row inline constants, or ``None``.
+        temperature_c / energy_j / temperature_integral: Per-row
+            starting accumulators (not mutated).
+
+    Returns:
+        ``(temperature_c, energy_j, temperature_integral)`` lists of
+        per-row advanced values.
+    """
+    exp = math.exp
+    out_temperature: list[float] = []
+    out_energy: list[float] = []
+    out_integral: list[float] = []
+    for row in range(len(steps)):
+        count = steps[row]
+        if count < 1:
+            raise ValueError("every row needs at least one step")
+        value = temperature_c[row]
+        energy = energy_j[row]
+        integral = temperature_integral[row]
+        dt = dt_s[row]
+        decay_row = decay[row]
+        ambient = ambient_c[row]
+        r_th = r_th_c_per_w[row]
+        non_leakage = non_leakage_soc_w[row]
+        rest = rest_of_device_w[row]
+        constants = leak_constants[row]
+        if constants is None:
+            evaluate = leak_power_of_c[row]
+            for _ in range(count):
+                leak_value = evaluate(value)
+                soc_value = non_leakage + leak_value
+                total_value = soc_value + rest
+                energy += total_value * dt
+                target_value = ambient + soc_value * r_th
+                value = target_value + (value - target_value) * decay_row
+                integral += value * dt
+        else:
+            k1v, slope, gate = constants
+            for _ in range(count):
+                kelvin = value + KELVIN_OFFSET
+                if kelvin <= 0:
+                    raise ValueError(
+                        "temperature must be above absolute zero"
+                    )
+                leak_value = k1v * kelvin**2 * exp(slope / kelvin) + gate
+                soc_value = non_leakage + leak_value
+                total_value = soc_value + rest
+                energy += total_value * dt
+                target_value = ambient + soc_value * r_th
+                value = target_value + (value - target_value) * decay_row
+                integral += value * dt
+        out_temperature.append(value)
+        out_energy.append(energy)
+        out_integral.append(integral)
+    return out_temperature, out_energy, out_integral
 
 
 def integrate_thermal_rows(
@@ -149,29 +268,81 @@ def integrate_thermal_rows(
     leak_w = np.empty((rows, width), dtype=np.float64)
     total_w = np.empty((rows, width), dtype=np.float64)
     temp_c = np.empty((rows, width), dtype=np.float64)
+    counts_list: list[int] = counts.tolist()
+    # Column scratch, reused across the whole sweep: every per-column
+    # elementwise op below writes into a preallocated buffer, so the
+    # loop allocates nothing.  Each expression is the same op on the
+    # same operands as the scalar recurrence, just with an explicit
+    # destination -- rounding is unchanged.
+    leak_buf = np.empty(rows, dtype=np.float64)
+    soc_buf = np.empty(rows, dtype=np.float64)
+    total_buf = np.empty(rows, dtype=np.float64)
+    work_buf = np.empty(rows, dtype=np.float64)
     active = rows
-    for column in range(width):
-        while counts[active - 1] <= column:
+    column = 0
+    while column < width:
+        while counts_list[active - 1] <= column:
             active -= 1
-        live = slice(0, active)
-        before = temperature[live]
+        if active <= _SCALAR_TAIL_ROWS:
+            # Tail columns with only a few live rows (one long regime
+            # outlasting the rest of its epoch): per-column array-op
+            # overhead now exceeds the work, so each surviving row
+            # finishes through the plain scalar recurrence -- the
+            # identical per-step expressions, one row at a time.
+            break
+        before = temperature[:active]
         # Leakage at the pre-step temperature, through each row's own
         # scalar evaluator (see the docstring for why not np.exp).
-        leak = np.array(
-            [
-                evaluate(value)
-                for evaluate, value in zip(leak_power_of_c, before.tolist())
-            ],
-            dtype=np.float64,
-        )
-        soc_w = non_leakage[live] + leak
-        total = soc_w + rest[live]
-        leak_w[live, column] = leak
-        total_w[live, column] = total
-        energy[live] += total * dt[live]
-        target = ambient[live] + soc_w * r_th[live]
-        after = target + (before - target) * decay_v[live]
-        temperature[live] = after
-        temp_c[live, column] = after
-        integral[live] += after * dt[live]
+        leak = leak_buf[:active]
+        leak[:] = [
+            evaluate(value)
+            for evaluate, value in zip(leak_power_of_c, before.tolist())
+        ]
+        soc_w = np.add(non_leakage[:active], leak, out=soc_buf[:active])
+        total = np.add(soc_w, rest[:active], out=total_buf[:active])
+        leak_w[:active, column] = leak
+        total_w[:active, column] = total
+        work = np.multiply(total, dt[:active], out=work_buf[:active])
+        np.add(energy[:active], work, out=energy[:active])
+        target = np.multiply(soc_w, r_th[:active], out=soc_buf[:active])
+        np.add(ambient[:active], target, out=target)
+        diff = np.subtract(before, target, out=work_buf[:active])
+        np.multiply(diff, decay_v[:active], out=diff)
+        after = np.add(target, diff, out=temperature[:active])
+        temp_c[:active, column] = after
+        work = np.multiply(after, dt[:active], out=work_buf[:active])
+        np.add(integral[:active], work, out=integral[:active])
+        column += 1
+    if column < width:
+        dt_list: list[float] = dt.tolist()
+        decay_list: list[float] = decay_v.tolist()
+        ambient_list: list[float] = ambient.tolist()
+        r_th_list: list[float] = r_th.tolist()
+        non_leakage_list: list[float] = non_leakage.tolist()
+        rest_list: list[float] = rest.tolist()
+        for row in range(active):
+            value = float(temperature[row])
+            energy_row = float(energy[row])
+            integral_row = float(integral[row])
+            evaluate = leak_power_of_c[row]
+            dt_row = dt_list[row]
+            decay_row = decay_list[row]
+            ambient_row = ambient_list[row]
+            r_th_row = r_th_list[row]
+            non_leakage_row = non_leakage_list[row]
+            rest_row = rest_list[row]
+            for cell in range(column, counts_list[row]):
+                leak_value = evaluate(value)
+                soc_value = non_leakage_row + leak_value
+                total_value = soc_value + rest_row
+                leak_w[row, cell] = leak_value
+                total_w[row, cell] = total_value
+                energy_row += total_value * dt_row
+                target_value = ambient_row + soc_value * r_th_row
+                value = target_value + (value - target_value) * decay_row
+                temp_c[row, cell] = value
+                integral_row += value * dt_row
+            temperature[row] = value
+            energy[row] = energy_row
+            integral[row] = integral_row
     return leak_w, total_w, temp_c, temperature, energy, integral

@@ -46,6 +46,17 @@ class TestTwinTraces:
             assert times == sorted(times)
             assert times[-1] > 0.0
 
+    def test_exposes_the_fleet_stage_breakdown(self, fast_config, twin):
+        from repro.sim.fleet_engine import _STAGES
+
+        breakdown: dict[str, float] = {}
+        traces = twin_traces(
+            combos=_COMBOS, config=fast_config, stage_seconds=breakdown
+        )
+        assert traces == twin
+        assert set(breakdown) == set(_STAGES)
+        assert all(seconds >= 0.0 for seconds in breakdown.values())
+
 
 class TestTwinSchedule:
     CONFIG = LoadgenConfig(

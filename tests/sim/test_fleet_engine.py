@@ -16,12 +16,14 @@ Two layers, mirroring ``test_engine_equivalence.py``:
   regime lengths and step sizes.
 """
 
+from contextlib import contextmanager
 from dataclasses import replace
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.sim.fleet_engine as fleet_module
 from repro.sim.engine import EngineConfig
 from repro.sim.fleet_engine import (
     FleetEngine,
@@ -30,6 +32,22 @@ from repro.sim.fleet_engine import (
     heterogeneous_fleet,
 )
 from tests.sim.test_engine_equivalence import assert_bit_identical
+
+
+@contextmanager
+def batched_path(tail: int = 0):
+    """Pin the solo-tail cutoff so small fleets run the batched epochs.
+
+    The production cutoff (``_SOLO_TAIL_ROWS``) finishes fleets at or
+    below 16 live rows on the solo loop, which would let these small
+    equivalence fixtures bypass the very code under test.
+    """
+    saved = fleet_module._SOLO_TAIL_ROWS
+    fleet_module._SOLO_TAIL_ROWS = tail
+    try:
+        yield
+    finally:
+        fleet_module._SOLO_TAIL_ROWS = saved
 
 
 def _reference(spec: FleetRowSpec):
@@ -112,8 +130,17 @@ class TestConstruction:
 class TestBitExactness:
     def test_curated_fleet_matches_reference_with_traces(self):
         specs = heterogeneous_fleet(12, seed=5, record_trace=True)
-        results = FleetEngine(rows=specs).run()
+        with batched_path():
+            results = FleetEngine(rows=specs).run()
         assert len(results) == len(specs)
+        for spec, result in zip(specs, results):
+            assert_bit_identical(_reference(spec), result)
+
+    def test_solo_tail_handoff_matches_reference(self):
+        """Rows that start batched and finish on the solo tail."""
+        specs = heterogeneous_fleet(12, seed=5)
+        with batched_path(tail=6):
+            results = FleetEngine(rows=specs).run()
         for spec, result in zip(specs, results):
             assert_bit_identical(_reference(spec), result)
 
@@ -123,7 +150,8 @@ class TestBitExactness:
             FleetRowSpec(page="amazon", governor="fixed", freq_hz=729.6e6),
             FleetRowSpec(page="msn", dt_s=0.004, max_time_s=0.1),
         )
-        results = FleetEngine(rows=specs).run()
+        with batched_path():
+            results = FleetEngine(rows=specs).run()
         assert results[0].load_time_s is None
         assert results[2].load_time_s is None
         for spec, result in zip(specs, results):
@@ -131,8 +159,9 @@ class TestBitExactness:
 
     def test_rerun_reproduces_the_fleet(self):
         fleet = FleetEngine(rows=heterogeneous_fleet(6, seed=9))
-        first = fleet.run()
-        second = fleet.run()
+        with batched_path():
+            first = fleet.run()
+            second = fleet.run()
         for a, b in zip(first, second):
             assert_bit_identical(a, b)
 
@@ -169,5 +198,6 @@ def test_random_row_matches_reference(
         dt_s=dt_s,
         record_trace=record_trace,
     )
-    results = FleetEngine(rows=(spec,) + _FILLER_ROWS).run()
+    with batched_path():
+        results = FleetEngine(rows=(spec,) + _FILLER_ROWS).run()
     assert_bit_identical(_reference(spec), results[0])

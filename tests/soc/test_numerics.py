@@ -3,7 +3,7 @@
 import pytest
 
 from repro.soc.leakage import nexus5_leakage_parameters
-from repro.soc.numerics import integrate_thermal_rows
+from repro.soc.numerics import advance_thermal_rows, integrate_thermal_rows
 from repro.soc.thermal import ThermalModel
 
 
@@ -115,3 +115,59 @@ class TestIntegrateThermalRows:
         )
         for value in (leak_w, total_w, temp_c, final_t, final_e, final_i):
             assert value.size == 0
+
+
+class TestAdvanceThermalRows:
+    """The no-series row-major variant vs the column sweep."""
+
+    @pytest.mark.parametrize("inline", [False, True])
+    def test_finals_match_the_series_sweep(self, kwargs, inline):
+        if inline:
+            # Voltages matching the two bound_evaluator closures of the
+            # fixture rows (1.05, 1.05, 1.225).
+            constants = [
+                nexus5_leakage_parameters().bound_constants(voltage)
+                for voltage in (1.05, 1.05, 1.225)
+            ]
+        else:
+            constants = [None, None, None]
+        finals = advance_thermal_rows(
+            leak_constants=constants,
+            **{k: v for k, v in kwargs.items()},
+        )
+        _l, _t, _c, final_t, final_e, final_i = integrate_thermal_rows(
+            **kwargs
+        )
+        assert finals[0] == [float(v) for v in final_t]
+        assert finals[1] == [float(v) for v in final_e]
+        assert finals[2] == [float(v) for v in final_i]
+
+    def test_accepts_any_row_order(self, kwargs):
+        """No sorted-steps requirement, unlike the column sweep."""
+        order = [1, 2, 0]
+        reordered = {
+            key: [values[row] for row in order]
+            for key, values in kwargs.items()
+        }
+        finals = advance_thermal_rows(
+            leak_constants=[None, None, None], **reordered
+        )
+        straight = advance_thermal_rows(
+            leak_constants=[None, None, None], **kwargs
+        )
+        for row, source in enumerate(order):
+            assert finals[0][row] == straight[0][source]
+
+    def test_inputs_are_not_mutated(self, kwargs):
+        temperature = list(kwargs["temperature_c"])
+        advance_thermal_rows(
+            leak_constants=[None, None, None], **kwargs
+        )
+        assert kwargs["temperature_c"] == temperature
+
+    def test_rejects_empty_rows(self, kwargs):
+        kwargs["steps"] = [7, 0, 1]
+        with pytest.raises(ValueError, match="at least one step"):
+            advance_thermal_rows(
+                leak_constants=[None, None, None], **kwargs
+            )
